@@ -1,0 +1,44 @@
+//! Criterion bench for the flow-control buffer-depth ablation: the paper
+//! fixes two entries per link (matching the two-cycle On/Off round trip);
+//! this bench measures the simulation cost of deeper buffers under the same
+//! load, and the companion assertions in `tests/` check that two entries are
+//! already enough to keep contention negligible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lnuca_core::{LNuca, LNucaConfig};
+use lnuca_types::{Addr, Cycle, ReqId};
+use std::hint::black_box;
+
+fn run_fabric(buffer_entries: usize) -> u64 {
+    let config = LNucaConfig {
+        buffer_entries,
+        ..LNucaConfig::paper(3).expect("3 levels is valid")
+    };
+    let mut fabric = LNuca::new(config).expect("valid config");
+    let mut stalls = 0;
+    for c in 0..8_000u64 {
+        if c % 2 == 0 {
+            let _ = fabric.inject_search(Addr((c % 128) * 0x400), ReqId(c), false, Cycle(c));
+        }
+        fabric.evict_from_root(Addr((c % 256) * 0x80), false);
+        fabric.tick(Cycle(c));
+        let _ = fabric.pop_arrivals(Cycle(c));
+        let _ = fabric.pop_global_misses(Cycle(c));
+        let _ = fabric.pop_spills(Cycle(c));
+        stalls = fabric.stats().transport_stall_cycles + fabric.stats().replacement_stall_cycles;
+    }
+    stalls
+}
+
+fn bench_buffer_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer_depth_fabric_8k_cycles");
+    for entries in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |b, &entries| {
+            b.iter(|| black_box(run_fabric(entries)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_buffer_depth);
+criterion_main!(benches);

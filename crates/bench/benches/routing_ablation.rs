@@ -1,0 +1,49 @@
+//! Criterion bench for the routing-policy ablation: the wall-clock cost of
+//! simulating the same fabric load under random distributed routing versus
+//! dimension-order routing. The architectural comparison (contention ratio,
+//! IPC) is printed by `cargo run -p lnuca-bench --bin ablation_routing`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lnuca_core::{LNuca, LNucaConfig};
+use lnuca_noc::RoutingPolicy;
+use lnuca_types::{Addr, Cycle, ReqId};
+use std::hint::black_box;
+
+fn run_fabric(policy: RoutingPolicy) -> u64 {
+    let config = LNucaConfig {
+        routing: policy,
+        ..LNucaConfig::paper(3).expect("3 levels is valid")
+    };
+    let mut fabric = LNuca::new(config).expect("valid config");
+    let mut delivered = 0;
+    for c in 0..8_000u64 {
+        // Heavy load: a search every other cycle, evictions every 3 cycles.
+        if c % 2 == 0 {
+            let _ = fabric.inject_search(Addr((c % 256) * 0x400), ReqId(c), false, Cycle(c));
+        }
+        if c % 3 == 0 {
+            fabric.evict_from_root(Addr((c % 512) * 0x80), false);
+        }
+        fabric.tick(Cycle(c));
+        delivered += fabric.pop_arrivals(Cycle(c)).len() as u64;
+        let _ = fabric.pop_global_misses(Cycle(c));
+        let _ = fabric.pop_spills(Cycle(c));
+    }
+    delivered
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing_policy_fabric_8k_cycles");
+    for (name, policy) in [
+        ("random_valid", RoutingPolicy::RandomValid),
+        ("dimension_order", RoutingPolicy::DimensionOrder),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            b.iter(|| black_box(run_fabric(policy)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

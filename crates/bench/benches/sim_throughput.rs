@@ -1,0 +1,68 @@
+//! Criterion benches of the simulator's hot kernels: the L-NUCA fabric tick
+//! loop and a short full-system run for each hierarchy organisation. These
+//! track the cost of reproducing the paper's experiments rather than the
+//! paper's own metrics (which the `src/bin` harnesses report).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lnuca_core::{LNuca, LNucaConfig};
+use lnuca_sim::configs::{self, HierarchyKind};
+use lnuca_sim::system::System;
+use lnuca_types::{Addr, Cycle, ReqId};
+use lnuca_workloads::suites;
+use std::hint::black_box;
+
+/// 10 000 fabric cycles with one search injected every 4 cycles and a root
+/// eviction every 8 — a load comparable to an L1 miss rate of 25 %.
+fn fabric_tick_loop(levels: u8) -> u64 {
+    let mut fabric = LNuca::new(LNucaConfig::paper(levels).expect("valid levels")).expect("valid config");
+    let mut delivered = 0u64;
+    for c in 0..10_000u64 {
+        if c % 4 == 0 {
+            let addr = Addr((c % 512) * 0x200);
+            let _ = fabric.inject_search(addr, ReqId(c), false, Cycle(c));
+        }
+        if c % 8 == 0 {
+            fabric.evict_from_root(Addr((c % 1024) * 0x40), c % 16 == 0);
+        }
+        fabric.tick(Cycle(c));
+        delivered += fabric.pop_arrivals(Cycle(c)).len() as u64;
+        let _ = fabric.pop_global_misses(Cycle(c));
+        let _ = fabric.pop_spills(Cycle(c));
+    }
+    delivered
+}
+
+fn bench_fabric_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fabric_tick_10k_cycles");
+    for levels in [2u8, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(levels), &levels, |b, &levels| {
+            b.iter(|| black_box(fabric_tick_loop(levels)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_system(c: &mut Criterion) {
+    let profile = suites::spec_int_like()[0].clone();
+    let kinds = [
+        ("conventional", HierarchyKind::Conventional(configs::conventional())),
+        ("lnuca3_l3", HierarchyKind::LNucaL3(configs::lnuca_hierarchy(3))),
+        ("dnuca", HierarchyKind::DNuca(configs::dnuca_hierarchy())),
+        ("lnuca2_dnuca", HierarchyKind::LNucaDNuca(configs::lnuca_dnuca_hierarchy(2))),
+    ];
+    let mut group = c.benchmark_group("full_system_10k_instructions");
+    group.sample_size(10);
+    for (name, kind) in kinds {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let result =
+                    System::run_workload(&kind, &profile, 10_000, 1).expect("valid configuration");
+                black_box(result.cycles)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fabric_tick, bench_full_system);
+criterion_main!(benches);

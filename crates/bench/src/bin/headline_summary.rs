@@ -1,0 +1,26 @@
+//! The headline claim of the abstract / §V-A: replacing the 256 KB L2 with a
+//! 3-level L-NUCA saves area, improves IPC for both suites and reduces total
+//! energy, all at once.
+
+use lnuca_bench::{options_from_env, signed_pct};
+use lnuca_sim::experiments::{headline, Study};
+use lnuca_sim::report::format_table;
+
+fn main() {
+    let mut opts = options_from_env();
+    if !opts.lnuca_levels.contains(&3) {
+        opts.lnuca_levels.push(3);
+    }
+    eprintln!("running the conventional study ({} instructions per run)...", opts.instructions);
+    let study = Study::conventional(&opts).expect("paper configurations are valid");
+    let h = headline(&study);
+
+    println!("Headline — LN3-144KB versus L2-256KB\n");
+    let rows = vec![
+        vec!["area".to_owned(), signed_pct(h.area_change_pct), "-5.3%".to_owned()],
+        vec!["Integer IPC".to_owned(), signed_pct(h.int_ipc_gain_pct), "+6.1%".to_owned()],
+        vec!["Floating-Point IPC".to_owned(), signed_pct(h.fp_ipc_gain_pct), "+15.0%".to_owned()],
+        vec!["total energy".to_owned(), signed_pct(h.energy_change_pct), "-14.2%".to_owned()],
+    ];
+    println!("{}", format_table(&["metric", "measured", "paper"], &rows));
+}

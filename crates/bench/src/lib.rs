@@ -1,0 +1,83 @@
+//! Shared plumbing for the experiment binaries and criterion benches.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper;
+//! they all read the same environment variables so a single invocation style
+//! covers quick smoke runs and full reproductions:
+//!
+//! * `LNUCA_INSTRUCTIONS` — instructions per (configuration, benchmark) pair
+//!   (default 100 000; the paper simulates 100 M per SimPoint, which is far
+//!   beyond what a laptop-scale reproduction needs for stationary synthetic
+//!   traces),
+//! * `LNUCA_BENCHMARKS_PER_SUITE` — restrict each suite to its first N
+//!   benchmarks (default: all eleven),
+//! * `LNUCA_LEVELS` — comma-separated L-NUCA level counts (default `2,3,4`),
+//! * `LNUCA_SEED` — base seed for the synthetic traces (default 1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use lnuca_sim::experiments::ExperimentOptions;
+
+/// Builds [`ExperimentOptions`] from the `LNUCA_*` environment variables.
+#[must_use]
+pub fn options_from_env() -> ExperimentOptions {
+    let mut opts = ExperimentOptions {
+        instructions: 100_000,
+        ..ExperimentOptions::default()
+    };
+    if let Some(v) = env_u64("LNUCA_INSTRUCTIONS") {
+        opts.instructions = v;
+    }
+    if let Some(v) = env_u64("LNUCA_BENCHMARKS_PER_SUITE") {
+        opts.benchmarks_per_suite = Some(v as usize);
+    }
+    if let Some(v) = env_u64("LNUCA_SEED") {
+        opts.seed = v;
+    }
+    if let Ok(v) = std::env::var("LNUCA_LEVELS") {
+        let levels: Vec<u8> = v
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .filter(|&l| (2..=8).contains(&l))
+            .collect();
+        if !levels.is_empty() {
+            opts.lnuca_levels = levels;
+        }
+    }
+    opts
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Formats a floating-point value with three significant decimals.
+#[must_use]
+pub fn f3(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+/// Formats a percentage with one decimal and a sign.
+#[must_use]
+pub fn signed_pct(value: f64) -> String {
+    format!("{value:+.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_are_sensible() {
+        let opts = options_from_env();
+        assert!(opts.instructions >= 1_000);
+        assert!(!opts.lnuca_levels.is_empty());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(signed_pct(6.13), "+6.1%");
+        assert_eq!(signed_pct(-5.3), "-5.3%");
+    }
+}

@@ -1,0 +1,60 @@
+//! # Light NUCA (L-NUCA) — the paper's primary contribution
+//!
+//! This crate implements the tiled cache fabric proposed in *"Light NUCA: a
+//! proposal for bridging the inter-cache latency gap"* (Suárez et al., DATE
+//! 2009): a grid of small (8 KB) single-cycle cache tiles surrounding the L1
+//! ("root tile"), interconnected by three dedicated unidirectional networks:
+//!
+//! * **Search** — a broadcast tree propagating miss requests outward one
+//!   level per cycle and collecting global misses with a one-cycle miss line,
+//! * **Transport** — a 2-D mesh pointing toward the root tile that returns
+//!   hit blocks with path diversity and headerless, randomly-routed messages,
+//! * **Replacement** — a latency-ordered "domino" network that spills root
+//!   tile victims outward, turning the fabric into a distributed victim
+//!   cache with content exclusion.
+//!
+//! The fabric is exposed through [`LNuca`]; the geometry (tile counts per
+//! level, network neighbourhoods, per-tile latencies) lives in [`geometry`],
+//! and [`LNucaStats`] carries the counters the paper's Table III and energy
+//! evaluation are built from.
+//!
+//! # Example
+//!
+//! ```
+//! use lnuca_core::{LNuca, LNucaConfig};
+//! use lnuca_types::{Addr, Cycle, ReqId};
+//!
+//! // Build the paper's 3-level, 144 KB configuration.
+//! let mut fabric = LNuca::new(LNucaConfig::paper(3)?)?;
+//! assert_eq!(fabric.geometry().tile_count(), 14);
+//!
+//! // Place a block in the fabric (as a root-tile eviction), then find it.
+//! fabric.evict_from_root(Addr(0x8000), false);
+//! for c in 0..4 {
+//!     fabric.tick(Cycle(c));
+//! }
+//! fabric.inject_search(Addr(0x8000), ReqId(1), false, Cycle(4));
+//! let mut arrivals = Vec::new();
+//! for c in 4..10 {
+//!     fabric.tick(Cycle(c));
+//!     arrivals.extend(fabric.pop_arrivals(Cycle(c)));
+//! }
+//! assert_eq!(arrivals.len(), 1);
+//! assert_eq!(arrivals[0].hit_level, 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod fabric;
+pub mod geometry;
+pub mod msg;
+pub mod stats;
+
+pub use config::LNucaConfig;
+pub use fabric::LNuca;
+pub use geometry::{Hop, LNucaGeometry, TileCoord};
+pub use msg::{Arrival, GlobalMiss, ReplMsg, SearchMsg, Spill, TransportMsg};
+pub use stats::LNucaStats;

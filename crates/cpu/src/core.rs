@@ -1,0 +1,637 @@
+//! The out-of-order pipeline model.
+
+use crate::config::CoreConfig;
+use crate::memory::DataMemory;
+use crate::predictor::HybridPredictor;
+use lnuca_types::{Addr, ConfigError, Cycle, MemRequest, ReqId};
+use lnuca_workloads::{Instr, InstrKind};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// Execution state of a reorder-buffer entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryState {
+    /// Dispatched, waiting for operands / issue bandwidth / memory port.
+    Dispatched,
+    /// Issued to a functional unit or to the memory hierarchy.
+    Executing,
+    /// Result available; can commit when it reaches the ROB head.
+    Completed,
+}
+
+#[derive(Debug, Clone)]
+struct RobEntry {
+    seq: u64,
+    kind: InstrKind,
+    addr: Option<Addr>,
+    dep_seq: Option<u64>,
+    state: EntryState,
+    completes_at: Cycle,
+}
+
+impl RobEntry {
+    fn is_memory(&self) -> bool {
+        self.kind.is_memory()
+    }
+
+    fn class(&self) -> IssueClass {
+        match self.kind {
+            InstrKind::FpAlu => IssueClass::Fp,
+            InstrKind::Load | InstrKind::Store => IssueClass::Mem,
+            InstrKind::IntAlu | InstrKind::Branch { .. } => IssueClass::Int,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IssueClass {
+    Int,
+    Fp,
+    Mem,
+}
+
+/// Aggregate counters of an [`OooCore`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Instructions fetched (and dispatched) into the ROB.
+    pub fetched: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Committed loads.
+    pub loads: u64,
+    /// Committed stores.
+    pub stores: u64,
+    /// Committed branches.
+    pub branches: u64,
+    /// Branches whose prediction was wrong.
+    pub mispredictions: u64,
+    /// Sum of observed load latencies (issue to data return), in cycles.
+    pub load_latency_sum: u64,
+    /// Loads whose latency is included in [`CoreStats::load_latency_sum`].
+    pub load_latency_samples: u64,
+    /// Cycles in which dispatch stalled because the ROB was full.
+    pub rob_full_stalls: u64,
+    /// Cycles in which a ready load could not be accepted by the hierarchy.
+    pub memory_reject_stalls: u64,
+    /// Cycles in which commit stalled because the store buffer was full.
+    pub store_buffer_stalls: u64,
+}
+
+impl CoreStats {
+    /// Committed instructions per cycle after `elapsed` cycles.
+    #[must_use]
+    pub fn ipc(&self, elapsed: Cycle) -> f64 {
+        if elapsed.0 == 0 {
+            0.0
+        } else {
+            self.committed as f64 / elapsed.0 as f64
+        }
+    }
+
+    /// Mean observed load latency in cycles.
+    #[must_use]
+    pub fn mean_load_latency(&self) -> f64 {
+        if self.load_latency_samples == 0 {
+            0.0
+        } else {
+            self.load_latency_sum as f64 / self.load_latency_samples as f64
+        }
+    }
+
+    /// Misprediction rate over committed branches.
+    #[must_use]
+    pub fn misprediction_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.branches as f64
+        }
+    }
+}
+
+/// A trace-driven out-of-order core.
+///
+/// The core consumes [`Instr`]s from any iterator (normally a
+/// [`lnuca_workloads::TraceGenerator`]), models fetch / dispatch / issue /
+/// execute / commit with the capacity limits of [`CoreConfig`], and talks to
+/// the memory hierarchy through the [`DataMemory`] trait. It is deliberately
+/// not cycle-exact against any real microarchitecture; what it reproduces is
+/// the mechanism the paper's IPC numbers rely on — a limited instruction
+/// window that can hide short cache latencies but not long ones, throttled
+/// further by branch mispredictions and store-buffer pressure.
+#[derive(Debug)]
+pub struct OooCore<T> {
+    config: CoreConfig,
+    trace: T,
+    trace_exhausted: bool,
+    predictor: HybridPredictor,
+    rob: VecDeque<RobEntry>,
+    next_seq: u64,
+    store_buffer: VecDeque<Addr>,
+    pending_loads: HashMap<ReqId, (u64, Cycle)>,
+    next_req_id: u64,
+    /// Sequence number of the mispredicted branch blocking fetch, if any.
+    fetch_blocked_on: Option<u64>,
+    /// Fetch may resume at this cycle (misprediction recovery).
+    fetch_stalled_until: Cycle,
+    /// An instruction pulled from the trace that could not be dispatched yet
+    /// (ROB/window/LSQ back-pressure).
+    pending_fetch: Option<Instr>,
+    stats: CoreStats,
+}
+
+impl<T: Iterator<Item = Instr>> OooCore<T> {
+    /// Creates a core that will execute `trace` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the configuration is invalid.
+    pub fn new(config: CoreConfig, trace: T) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(OooCore {
+            config,
+            trace,
+            trace_exhausted: false,
+            predictor: HybridPredictor::new(),
+            rob: VecDeque::new(),
+            next_seq: 0,
+            store_buffer: VecDeque::new(),
+            pending_loads: HashMap::new(),
+            next_req_id: 0,
+            fetch_blocked_on: None,
+            fetch_stalled_until: Cycle::ZERO,
+            pending_fetch: None,
+            stats: CoreStats::default(),
+        })
+    }
+
+    /// The configuration this core was built with.
+    #[must_use]
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// The branch predictor (exposed for its accuracy counters).
+    #[must_use]
+    pub fn predictor(&self) -> &HybridPredictor {
+        &self.predictor
+    }
+
+    /// Number of instructions committed so far.
+    #[must_use]
+    pub fn committed(&self) -> u64 {
+        self.stats.committed
+    }
+
+    /// `true` once the trace is exhausted and every in-flight instruction
+    /// has committed and every buffered store has drained.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.trace_exhausted && self.rob.is_empty() && self.store_buffer.is_empty()
+    }
+
+    /// Advances the core by one cycle, exchanging requests and completions
+    /// with `memory`.
+    pub fn tick(&mut self, now: Cycle, memory: &mut dyn DataMemory) {
+        self.collect_completions(now, memory);
+        self.finish_execution(now);
+        self.commit(now);
+        self.drain_store_buffer(now, memory);
+        self.issue(now, memory);
+        self.fetch_and_dispatch(now);
+    }
+
+    // --- pipeline stages -------------------------------------------------
+
+    fn collect_completions(&mut self, now: Cycle, memory: &mut dyn DataMemory) {
+        for resp in memory.completions(now) {
+            if let Some((seq, issued_at)) = self.pending_loads.remove(&resp.id) {
+                if let Some(entry) = self.entry_mut(seq) {
+                    entry.state = EntryState::Completed;
+                    entry.completes_at = resp.completed_at.max(now);
+                }
+                self.stats.load_latency_sum += resp.completed_at.since(issued_at);
+                self.stats.load_latency_samples += 1;
+            }
+            // Store-write completions carry no dependent work: the store
+            // buffer entry was freed when the hierarchy accepted the write.
+        }
+    }
+
+    fn finish_execution(&mut self, now: Cycle) {
+        let mut unblock: Option<(u64, Cycle)> = None;
+        for entry in &mut self.rob {
+            if entry.state == EntryState::Executing
+                && !entry.kind.is_load()
+                && entry.completes_at <= now
+            {
+                entry.state = EntryState::Completed;
+                if self.fetch_blocked_on == Some(entry.seq) {
+                    unblock = Some((entry.seq, entry.completes_at));
+                }
+            } else if entry.state == EntryState::Completed
+                && self.fetch_blocked_on == Some(entry.seq)
+            {
+                unblock = Some((entry.seq, entry.completes_at));
+            }
+        }
+        if let Some((_, resolved_at)) = unblock {
+            // The front end restarts on the correct path after the
+            // misprediction penalty.
+            self.fetch_blocked_on = None;
+            self.fetch_stalled_until = resolved_at + self.config.mispredict_penalty;
+        }
+    }
+
+    fn commit(&mut self, now: Cycle) {
+        for _ in 0..self.config.commit_width {
+            let Some(head) = self.rob.front() else { break };
+            if head.state != EntryState::Completed || head.completes_at > now {
+                break;
+            }
+            if head.kind.is_store() {
+                if self.store_buffer.len() >= self.config.store_buffer_size {
+                    self.stats.store_buffer_stalls += 1;
+                    break;
+                }
+                self.store_buffer
+                    .push_back(head.addr.expect("stores carry an address"));
+                self.stats.stores += 1;
+            } else if head.kind.is_load() {
+                self.stats.loads += 1;
+            } else if head.kind.is_branch() {
+                self.stats.branches += 1;
+            }
+            self.rob.pop_front();
+            self.stats.committed += 1;
+        }
+    }
+
+    fn drain_store_buffer(&mut self, now: Cycle, memory: &mut dyn DataMemory) {
+        for _ in 0..self.config.store_drain_per_cycle {
+            let Some(&addr) = self.store_buffer.front() else { break };
+            let req = MemRequest::write(self.alloc_req_id(), addr, now);
+            if memory.issue(req, now) {
+                self.store_buffer.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn issue(&mut self, now: Cycle, memory: &mut dyn DataMemory) {
+        let mut int_issued = 0;
+        let mut fp_issued = 0;
+        // Loads and stores share the integer/memory issue ports in Table I.
+        let int_mem_width = self.config.issue_width_int_mem;
+        let fp_width = self.config.issue_width_fp;
+
+        // Oldest-first issue.
+        let seqs: Vec<u64> = self
+            .rob
+            .iter()
+            .filter(|e| e.state == EntryState::Dispatched)
+            .map(|e| e.seq)
+            .collect();
+        for seq in seqs {
+            if int_issued >= int_mem_width && fp_issued >= fp_width {
+                break;
+            }
+            if !self.operands_ready(seq, now) {
+                continue;
+            }
+            let (class, kind, addr) = {
+                let e = self.entry(seq).expect("seq collected from the ROB");
+                (e.class(), e.kind, e.addr)
+            };
+            match class {
+                IssueClass::Fp => {
+                    if fp_issued >= fp_width {
+                        continue;
+                    }
+                    let done = now + self.config.fp_latency;
+                    let entry = self.entry_mut(seq).expect("entry exists");
+                    entry.state = EntryState::Executing;
+                    entry.completes_at = done;
+                    fp_issued += 1;
+                }
+                IssueClass::Int => {
+                    if int_issued >= int_mem_width {
+                        continue;
+                    }
+                    let done = now + self.config.int_latency;
+                    let entry = self.entry_mut(seq).expect("entry exists");
+                    entry.state = EntryState::Executing;
+                    entry.completes_at = done;
+                    int_issued += 1;
+                }
+                IssueClass::Mem => {
+                    if int_issued >= int_mem_width {
+                        continue;
+                    }
+                    match kind {
+                        InstrKind::Store => {
+                            // Address generation only; the write itself is
+                            // performed from the store buffer after commit.
+                            let done = now + self.config.int_latency;
+                            let entry = self.entry_mut(seq).expect("entry exists");
+                            entry.state = EntryState::Executing;
+                            entry.completes_at = done;
+                            int_issued += 1;
+                        }
+                        InstrKind::Load => {
+                            let id = self.alloc_req_id();
+                            let req = MemRequest::read(
+                                id,
+                                addr.expect("loads carry an address"),
+                                now,
+                            );
+                            if memory.issue(req, now) {
+                                self.pending_loads.insert(id, (seq, now));
+                                let entry = self.entry_mut(seq).expect("entry exists");
+                                entry.state = EntryState::Executing;
+                                int_issued += 1;
+                            } else {
+                                // Hierarchy back-pressure (ports/MSHRs full):
+                                // the request id is simply never used again.
+                                self.stats.memory_reject_stalls += 1;
+                            }
+                        }
+                        _ => unreachable!("memory class covers only loads and stores"),
+                    }
+                }
+            }
+        }
+    }
+
+    fn fetch_and_dispatch(&mut self, now: Cycle) {
+        if self.fetch_blocked_on.is_some() || now < self.fetch_stalled_until {
+            return;
+        }
+        for _ in 0..self.config.fetch_width {
+            if self.rob.len() >= self.config.rob_size {
+                self.stats.rob_full_stalls += 1;
+                return;
+            }
+            let Some(instr) = self.peek_or_fetch() else {
+                self.trace_exhausted = true;
+                return;
+            };
+            if instr.kind.is_memory() && self.lsq_occupancy() >= self.config.lsq_size {
+                return;
+            }
+            // Issue-window occupancy limits dispatch per class.
+            let class = match instr.kind {
+                InstrKind::FpAlu => IssueClass::Fp,
+                InstrKind::Load | InstrKind::Store => IssueClass::Mem,
+                _ => IssueClass::Int,
+            };
+            let window = match class {
+                IssueClass::Int => self.config.int_window,
+                IssueClass::Fp => self.config.fp_window,
+                IssueClass::Mem => self.config.mem_window,
+            };
+            if self.waiting_in_class(class) >= window {
+                // Leave the instruction for the next cycle.
+                self.pending_fetch = Some(instr);
+                return;
+            }
+            self.pending_fetch = None;
+
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.stats.fetched += 1;
+            let dep_seq = if instr.dep_distance == 0 {
+                None
+            } else {
+                seq.checked_sub(u64::from(instr.dep_distance))
+            };
+            let mut mispredicted = false;
+            if let InstrKind::Branch { pc, taken } = instr.kind {
+                mispredicted = !self.predictor.predict_and_update(pc, taken);
+                if mispredicted {
+                    self.stats.mispredictions += 1;
+                }
+            }
+            self.rob.push_back(RobEntry {
+                seq,
+                kind: instr.kind,
+                addr: instr.addr,
+                dep_seq,
+                state: EntryState::Dispatched,
+                completes_at: Cycle::ZERO,
+            });
+            if mispredicted {
+                // Wrong-path instructions are not modelled; fetch simply
+                // stops until the branch resolves and the penalty elapses.
+                self.fetch_blocked_on = Some(seq);
+                return;
+            }
+        }
+    }
+
+    // --- helpers ----------------------------------------------------------
+
+    fn alloc_req_id(&mut self) -> ReqId {
+        let id = ReqId(self.next_req_id);
+        self.next_req_id += 1;
+        id
+    }
+
+    fn entry(&self, seq: u64) -> Option<&RobEntry> {
+        let first = self.rob.front()?.seq;
+        self.rob.get(usize::try_from(seq.checked_sub(first)?).ok()?)
+    }
+
+    fn entry_mut(&mut self, seq: u64) -> Option<&mut RobEntry> {
+        let first = self.rob.front()?.seq;
+        self.rob
+            .get_mut(usize::try_from(seq.checked_sub(first)?).ok()?)
+    }
+
+    fn operands_ready(&self, seq: u64, now: Cycle) -> bool {
+        let Some(entry) = self.entry(seq) else { return false };
+        match entry.dep_seq {
+            None => true,
+            Some(dep) => match self.entry(dep) {
+                // Producer already committed (left the ROB).
+                None => true,
+                Some(p) => p.state == EntryState::Completed && p.completes_at <= now,
+            },
+        }
+    }
+
+    fn lsq_occupancy(&self) -> usize {
+        self.rob.iter().filter(|e| e.is_memory()).count()
+    }
+
+    fn waiting_in_class(&self, class: IssueClass) -> usize {
+        self.rob
+            .iter()
+            .filter(|e| e.state == EntryState::Dispatched && e.class() == class)
+            .count()
+    }
+
+    fn peek_or_fetch(&mut self) -> Option<Instr> {
+        if let Some(i) = self.pending_fetch {
+            return Some(i);
+        }
+        let next = self.trace.next();
+        self.pending_fetch = next;
+        next
+    }
+}
+
+impl<T> OooCore<T> {
+    /// Returns the number of instructions currently in the reorder buffer.
+    #[must_use]
+    pub fn rob_occupancy(&self) -> usize {
+        self.rob.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::FixedLatencyMemory;
+    use lnuca_workloads::{TraceGenerator, WorkloadProfile};
+
+    fn run_trace(
+        instrs: Vec<Instr>,
+        latency: u64,
+        max_cycles: u64,
+    ) -> (CoreStats, Cycle, FixedLatencyMemory) {
+        let mut core = OooCore::new(CoreConfig::paper(), instrs.into_iter()).unwrap();
+        let mut mem = FixedLatencyMemory::new(latency);
+        let mut now = Cycle(0);
+        while !core.is_finished() && now.0 < max_cycles {
+            mem.tick(now);
+            core.tick(now, &mut mem);
+            now = now.next();
+        }
+        assert!(core.is_finished(), "run did not converge within {max_cycles} cycles");
+        (*core.stats(), now, mem)
+    }
+
+    #[test]
+    fn independent_alu_instructions_approach_commit_width_ipc() {
+        let instrs = vec![Instr::int_alu(); 4_000];
+        let (stats, cycles, _) = run_trace(instrs, 1, 100_000);
+        assert_eq!(stats.committed, 4_000);
+        let ipc = stats.ipc(cycles);
+        assert!(ipc > 3.0, "independent ALU ops should commit near 4 IPC, got {ipc}");
+    }
+
+    #[test]
+    fn serial_dependency_chain_limits_ipc_to_one() {
+        let instrs: Vec<Instr> = (0..2_000)
+            .map(|_| Instr {
+                kind: InstrKind::IntAlu,
+                addr: None,
+                dep_distance: 1,
+            })
+            .collect();
+        let (stats, cycles, _) = run_trace(instrs, 1, 100_000);
+        let ipc = stats.ipc(cycles);
+        assert!(ipc < 1.2, "a serial chain cannot exceed 1 IPC, got {ipc}");
+        assert!(ipc > 0.5, "but it should stay near 1 IPC, got {ipc}");
+    }
+
+    #[test]
+    fn slower_memory_lowers_ipc() {
+        let make = || -> Vec<Instr> {
+            (0..3_000u64)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        // Loads to distinct blocks defeat any caching in the
+                        // fixed-latency memory (which has none anyway).
+                        Instr::load(Addr(i * 64))
+                    } else {
+                        Instr {
+                            kind: InstrKind::IntAlu,
+                            addr: None,
+                            dep_distance: 1,
+                        }
+                    }
+                })
+                .collect()
+        };
+        let (fast_stats, fast_cycles, _) = run_trace(make(), 2, 500_000);
+        let (slow_stats, slow_cycles, _) = run_trace(make(), 150, 2_000_000);
+        assert!(fast_stats.ipc(fast_cycles) > slow_stats.ipc(slow_cycles) * 1.3);
+        assert!(slow_stats.mean_load_latency() > fast_stats.mean_load_latency());
+    }
+
+    #[test]
+    fn stores_drain_through_the_store_buffer() {
+        let instrs: Vec<Instr> =
+            (0..500u64).map(|i| Instr::store(Addr(i * 32))).collect();
+        let (stats, _, mem) = run_trace(instrs, 3, 200_000);
+        assert_eq!(stats.stores, 500);
+        assert_eq!(stats.committed, 500);
+        // Every store write eventually reaches the memory.
+        assert_eq!(mem.accepted(), 500);
+    }
+
+    #[test]
+    fn mispredicted_branches_cost_cycles() {
+        // A branch with random outcomes is unpredictable; the same trace with
+        // a constant outcome is nearly free.
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let branchy = |predictable: bool| -> Vec<Instr> {
+            let mut rng = SmallRng::seed_from_u64(17);
+            let mut v = Vec::new();
+            for i in 0..3_000u64 {
+                v.push(Instr::int_alu());
+                let taken = if predictable { true } else { rng.gen_bool(0.5) };
+                v.push(Instr {
+                    kind: InstrKind::Branch { pc: (i % 7) * 13, taken },
+                    addr: None,
+                    dep_distance: 1,
+                });
+            }
+            v
+        };
+        let (good, good_cycles, _) = run_trace(branchy(true), 1, 400_000);
+        let (bad, bad_cycles, _) = run_trace(branchy(false), 1, 400_000);
+        assert!(good.ipc(good_cycles) > bad.ipc(bad_cycles));
+        assert!(bad.mispredictions > good.mispredictions);
+    }
+
+    #[test]
+    fn synthetic_workload_runs_to_completion_and_reports_sane_ipc() {
+        let trace: Vec<Instr> = TraceGenerator::new(WorkloadProfile::default(), 3)
+            .take(20_000)
+            .collect();
+        let (stats, cycles, _) = run_trace(trace, 2, 2_000_000);
+        assert_eq!(stats.committed, 20_000);
+        let ipc = stats.ipc(cycles);
+        assert!(ipc > 0.3 && ipc < 4.0, "IPC {ipc} out of plausible range");
+        assert!(stats.loads > 3_000);
+        assert!(stats.branches > 2_000);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut cfg = CoreConfig::paper();
+        cfg.commit_width = 0;
+        assert!(OooCore::new(cfg, std::iter::empty::<Instr>()).is_err());
+    }
+
+    #[test]
+    fn empty_trace_finishes_immediately() {
+        let mut core = OooCore::new(CoreConfig::paper(), std::iter::empty::<Instr>()).unwrap();
+        let mut mem = FixedLatencyMemory::new(1);
+        core.tick(Cycle(0), &mut mem);
+        assert!(core.is_finished());
+        assert_eq!(core.committed(), 0);
+        assert_eq!(core.rob_occupancy(), 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! A Dynamic NUCA (D-NUCA) secondary-cache model.
+//!
+//! The paper's second evaluation scenario places an L-NUCA between the L1 and
+//! an 8 MB D-NUCA (Figs. 1(c) and 1(d)), and the D-NUCA alone (`DN-4x8`) is
+//! the baseline of Fig. 5. This crate rebuilds that substrate following the
+//! configuration in Table I, which itself models the *SS-performance*
+//! organisation of Kim et al. (ASPLOS 2002):
+//!
+//! * 32 banks of 256 KB (2-way, 128 B blocks, 3-cycle access) arranged as
+//!   8 bank sets (columns) × 4 rows,
+//! * a virtual-channel wormhole 2-D mesh (32-byte flits, 1–5 flits per
+//!   message, 4 VCs) connecting the banks to the cache controller,
+//! * multicast search across the banks of a bank set,
+//! * hit-driven block *migration* (promotion) toward the controller, which is
+//!   what makes the NUCA "dynamic".
+//!
+//! # Example
+//!
+//! ```
+//! use lnuca_dnuca::{DNuca, DNucaConfig};
+//! use lnuca_types::{Addr, Cycle};
+//!
+//! let mut dnuca = DNuca::new(DNucaConfig::paper())?;
+//! assert_eq!(dnuca.capacity_bytes(), 8 * 1024 * 1024);
+//! // A cold access misses; after the fill the same block hits.
+//! let miss = dnuca.access(Addr(0x1_0000), false, Cycle(0));
+//! assert!(!miss.is_hit());
+//! dnuca.fill(Addr(0x1_0000), false, Cycle(100));
+//! let hit = dnuca.access(Addr(0x1_0000), false, Cycle(200));
+//! assert!(hit.is_hit());
+//! # Ok::<(), lnuca_types::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+
+pub use cache::{DNuca, DNucaOutcome, DNucaStats};
+pub use config::{DNucaConfig, SearchPolicy};

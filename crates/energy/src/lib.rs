@@ -1,0 +1,43 @@
+//! Energy, leakage and area models for the Light NUCA reproduction.
+//!
+//! The paper derives per-access energies, leakage powers and areas from
+//! Cacti 5.3 (caches), Orion (routers) and HSPICE (the transport crossbar),
+//! at 32 nm with a 19 FO4 cycle. Those tools are external C/SPICE programs,
+//! so this crate substitutes them with:
+//!
+//! * the **exact scalar values the paper publishes** (Table I per-access
+//!   energies and leakage powers, Table II areas), which is all the paper
+//!   itself feeds into its evaluation, and
+//! * a small **analytical model** (linear in capacity, with port and router
+//!   overheads) calibrated against those published points, used for
+//!   configurations the paper does not tabulate (the design-space example
+//!   and the ablation benches).
+//!
+//! The split between *dynamic* energy (per access / per link traversal) and
+//! *static* energy (leakage power × execution time) is what produces the
+//! stacked bars of Figs. 4(b) and 5(b): static L3 energy dominates, so any
+//! IPC improvement directly shrinks total energy.
+//!
+//! # Example
+//!
+//! ```
+//! use lnuca_energy::{CacheEnergyParams, EnergyAccount, cycle_time_ns};
+//!
+//! let tile = CacheEnergyParams::paper_lnuca_tile();
+//! let mut account = EnergyAccount::new();
+//! account.add_dynamic("tiles", tile.read_pj * 1_000.0);        // 1000 tile reads
+//! account.add_static("tiles", tile.static_energy_pj(1_000_000)); // over 1M cycles
+//! assert!(account.total_pj() > 0.0);
+//! assert!(cycle_time_ns() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod account;
+pub mod area;
+pub mod params;
+
+pub use account::EnergyAccount;
+pub use area::{AreaModel, PAPER_TABLE2};
+pub use params::{cycle_time_ns, CacheEnergyParams, NetworkEnergyParams};

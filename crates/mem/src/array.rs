@@ -1,0 +1,355 @@
+//! The tag/state array of a set-associative cache.
+
+use crate::{CacheGeometry, ReplacementPolicy};
+use lnuca_types::Addr;
+use serde::{Deserialize, Serialize};
+
+/// Metadata stored with every resident cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Line {
+    /// Block-aligned base address of the cached block.
+    pub addr: Addr,
+    /// Whether the line holds modified data that must be written back.
+    pub dirty: bool,
+}
+
+/// A line that was evicted to make room for a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvictedLine {
+    /// Block-aligned base address of the evicted block.
+    pub addr: Addr,
+    /// Whether the victim was dirty (requires a write-back).
+    pub dirty: bool,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Way {
+    line: Option<Line>,
+    last_use: u64,
+    inserted: u64,
+}
+
+/// A set-associative tag/state array.
+///
+/// `CacheArray` models only residency, recency and dirtiness — timing lives
+/// in [`crate::ConventionalCache`] and in the L-NUCA tile model. The array is
+/// the piece shared by every cache-like structure in the workspace
+/// (conventional caches, L-NUCA tiles, D-NUCA banks).
+///
+/// # Example
+///
+/// ```
+/// use lnuca_mem::{CacheArray, CacheGeometry, ReplacementPolicy};
+/// use lnuca_types::Addr;
+///
+/// let geometry = CacheGeometry::new(8 * 1024, 2, 32)?;
+/// let mut array = CacheArray::new(geometry, ReplacementPolicy::Lru);
+/// assert!(array.lookup(Addr(0x40)).is_none());
+/// let evicted = array.fill(Addr(0x40), false);
+/// assert!(evicted.is_none());
+/// assert!(array.lookup(Addr(0x5f)).is_some()); // same 32-byte block
+/// # Ok::<(), lnuca_types::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheArray {
+    geometry: CacheGeometry,
+    policy: ReplacementPolicy,
+    sets: Vec<Vec<Way>>,
+    tick: u64,
+    resident: usize,
+}
+
+impl CacheArray {
+    /// Creates an empty array with the given geometry and replacement policy.
+    #[must_use]
+    pub fn new(geometry: CacheGeometry, policy: ReplacementPolicy) -> Self {
+        let sets = (0..geometry.sets())
+            .map(|_| {
+                (0..geometry.ways())
+                    .map(|_| Way {
+                        line: None,
+                        last_use: 0,
+                        inserted: 0,
+                    })
+                    .collect()
+            })
+            .collect();
+        CacheArray {
+            geometry,
+            policy,
+            sets,
+            tick: 0,
+            resident: 0,
+        }
+    }
+
+    /// The geometry this array was built with.
+    #[must_use]
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+
+    /// Number of blocks currently resident.
+    #[must_use]
+    pub fn resident(&self) -> usize {
+        self.resident
+    }
+
+    /// Returns `true` if the block containing `addr` is resident, without
+    /// updating recency state.
+    #[must_use]
+    pub fn contains(&self, addr: Addr) -> bool {
+        let set = &self.sets[self.geometry.set_index(addr)];
+        let base = addr.block_base(self.geometry.block_size());
+        set.iter().any(|w| w.line.map(|l| l.addr) == Some(base))
+    }
+
+    /// Looks up the block containing `addr`; on a hit the line's recency is
+    /// refreshed and a copy of its metadata is returned.
+    pub fn lookup(&mut self, addr: Addr) -> Option<Line> {
+        self.tick += 1;
+        let set_index = self.geometry.set_index(addr);
+        let base = addr.block_base(self.geometry.block_size());
+        let tick = self.tick;
+        let set = &mut self.sets[set_index];
+        for way in set.iter_mut() {
+            if let Some(line) = way.line {
+                if line.addr == base {
+                    way.last_use = tick;
+                    return Some(line);
+                }
+            }
+        }
+        None
+    }
+
+    /// Marks the block containing `addr` dirty if it is resident. Returns
+    /// `true` if the block was found.
+    pub fn mark_dirty(&mut self, addr: Addr) -> bool {
+        let set_index = self.geometry.set_index(addr);
+        let base = addr.block_base(self.geometry.block_size());
+        for way in &mut self.sets[set_index] {
+            if let Some(line) = way.line.as_mut() {
+                if line.addr == base {
+                    line.dirty = true;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Inserts the block containing `addr` (with the given dirty state),
+    /// evicting a victim chosen by the replacement policy if the set is full.
+    ///
+    /// If the block is already resident its dirty bit is OR-ed with `dirty`
+    /// and no eviction occurs.
+    pub fn fill(&mut self, addr: Addr, dirty: bool) -> Option<EvictedLine> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set_index = self.geometry.set_index(addr);
+        let base = addr.block_base(self.geometry.block_size());
+
+        // Already resident: refresh and merge dirtiness.
+        for way in &mut self.sets[set_index] {
+            if let Some(line) = way.line.as_mut() {
+                if line.addr == base {
+                    line.dirty |= dirty;
+                    way.last_use = tick;
+                    return None;
+                }
+            }
+        }
+
+        // Free way available.
+        if let Some(way) = self.sets[set_index].iter_mut().find(|w| w.line.is_none()) {
+            way.line = Some(Line { addr: base, dirty });
+            way.last_use = tick;
+            way.inserted = tick;
+            self.resident += 1;
+            return None;
+        }
+
+        // Evict a victim.
+        let (last_use, inserted): (Vec<u64>, Vec<u64>) = self.sets[set_index]
+            .iter()
+            .map(|w| (w.last_use, w.inserted))
+            .unzip();
+        let victim_way = self.policy.choose_victim(&last_use, &inserted, tick);
+        let way = &mut self.sets[set_index][victim_way];
+        let victim = way.line.expect("full set has a line in every way");
+        way.line = Some(Line { addr: base, dirty });
+        way.last_use = tick;
+        way.inserted = tick;
+        Some(EvictedLine {
+            addr: victim.addr,
+            dirty: victim.dirty,
+        })
+    }
+
+    /// Removes the block containing `addr` from the array, returning its
+    /// metadata if it was resident.
+    pub fn invalidate(&mut self, addr: Addr) -> Option<Line> {
+        let set_index = self.geometry.set_index(addr);
+        let base = addr.block_base(self.geometry.block_size());
+        for way in &mut self.sets[set_index] {
+            if let Some(line) = way.line {
+                if line.addr == base {
+                    way.line = None;
+                    self.resident -= 1;
+                    return Some(line);
+                }
+            }
+        }
+        None
+    }
+
+    /// Returns `true` if the set that `addr` maps to has at least one empty
+    /// way.
+    #[must_use]
+    pub fn has_free_way(&self, addr: Addr) -> bool {
+        let set = &self.sets[self.geometry.set_index(addr)];
+        set.iter().any(|w| w.line.is_none())
+    }
+
+    /// Iterates over all resident lines (in no particular order).
+    pub fn iter(&self) -> impl Iterator<Item = &Line> + '_ {
+        self.sets
+            .iter()
+            .flat_map(|set| set.iter().filter_map(|w| w.line.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lnuca_types::ConfigError;
+    use proptest::prelude::*;
+
+    fn small_array() -> CacheArray {
+        let g = CacheGeometry::new(256, 2, 32).unwrap(); // 4 sets x 2 ways
+        CacheArray::new(g, ReplacementPolicy::Lru)
+    }
+
+    #[test]
+    fn fill_then_lookup_hits_whole_block() {
+        let mut a = small_array();
+        assert!(a.fill(Addr(0x100), false).is_none());
+        assert!(a.lookup(Addr(0x11F)).is_some());
+        assert!(a.lookup(Addr(0x120)).is_none());
+        assert_eq!(a.resident(), 1);
+    }
+
+    #[test]
+    fn refilling_resident_block_does_not_duplicate() {
+        let mut a = small_array();
+        a.fill(Addr(0x100), false);
+        a.fill(Addr(0x100), true);
+        assert_eq!(a.resident(), 1);
+        assert!(a.lookup(Addr(0x100)).unwrap().dirty, "dirtiness merges on refill");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut a = small_array();
+        // Set index = (addr >> 5) % 4. Choose three blocks in set 0.
+        let b0 = Addr(0x000);
+        let b1 = Addr(0x080);
+        let b2 = Addr(0x100);
+        a.fill(b0, false);
+        a.fill(b1, false);
+        a.lookup(b0); // b1 is now LRU
+        let evicted = a.fill(b2, false).expect("set is full");
+        assert_eq!(evicted.addr, b1);
+        assert!(a.contains(b0));
+        assert!(a.contains(b2));
+        assert!(!a.contains(b1));
+    }
+
+    #[test]
+    fn dirty_victims_are_reported_dirty() {
+        let mut a = small_array();
+        a.fill(Addr(0x000), true);
+        a.fill(Addr(0x080), false);
+        a.lookup(Addr(0x080));
+        // 0x000 is LRU and dirty.
+        let evicted = a.fill(Addr(0x100), false).unwrap();
+        assert_eq!(evicted.addr, Addr(0x000));
+        assert!(evicted.dirty);
+    }
+
+    #[test]
+    fn mark_dirty_only_affects_resident_blocks() {
+        let mut a = small_array();
+        assert!(!a.mark_dirty(Addr(0x40)));
+        a.fill(Addr(0x40), false);
+        assert!(a.mark_dirty(Addr(0x5F)));
+        assert!(a.lookup(Addr(0x40)).unwrap().dirty);
+    }
+
+    #[test]
+    fn invalidate_removes_block() {
+        let mut a = small_array();
+        a.fill(Addr(0x40), true);
+        let line = a.invalidate(Addr(0x40)).unwrap();
+        assert!(line.dirty);
+        assert!(!a.contains(Addr(0x40)));
+        assert_eq!(a.resident(), 0);
+        assert!(a.invalidate(Addr(0x40)).is_none());
+    }
+
+    #[test]
+    fn has_free_way_tracks_set_occupancy() {
+        let mut a = small_array();
+        assert!(a.has_free_way(Addr(0x000)));
+        a.fill(Addr(0x000), false);
+        assert!(a.has_free_way(Addr(0x000)));
+        a.fill(Addr(0x080), false);
+        assert!(!a.has_free_way(Addr(0x000)));
+        assert!(a.has_free_way(Addr(0x020)), "other sets unaffected");
+    }
+
+    #[test]
+    fn iter_visits_every_resident_line() -> Result<(), ConfigError> {
+        let g = CacheGeometry::new(512, 4, 32)?;
+        let mut a = CacheArray::new(g, ReplacementPolicy::Lru);
+        for i in 0..8u64 {
+            a.fill(Addr(i * 32), false);
+        }
+        assert_eq!(a.iter().count(), 8);
+        Ok(())
+    }
+
+    proptest! {
+        #[test]
+        fn resident_never_exceeds_capacity(addrs in proptest::collection::vec(0u64..0x4000, 0..200)) {
+            let g = CacheGeometry::new(1024, 2, 32).unwrap();
+            let mut a = CacheArray::new(g, ReplacementPolicy::Lru);
+            for addr in addrs {
+                a.fill(Addr(addr), addr % 3 == 0);
+                prop_assert!(a.resident() <= a.geometry().lines());
+                prop_assert_eq!(a.iter().count(), a.resident());
+            }
+        }
+
+        #[test]
+        fn a_filled_block_is_resident_until_evicted_or_invalidated(
+            addrs in proptest::collection::vec(0u64..0x2000, 1..100),
+            policy in prop::sample::select(vec![ReplacementPolicy::Lru, ReplacementPolicy::Fifo, ReplacementPolicy::Random]),
+        ) {
+            let g = CacheGeometry::new(1024, 4, 32).unwrap();
+            let mut a = CacheArray::new(g, policy);
+            for &addr in &addrs {
+                let evicted = a.fill(Addr(addr), false);
+                // The block just filled must be resident.
+                prop_assert!(a.contains(Addr(addr)));
+                // The evicted block (if any, and if distinct) must be gone.
+                if let Some(e) = evicted {
+                    if !e.addr.same_block(Addr(addr), 32) {
+                        prop_assert!(!a.contains(e.addr));
+                    }
+                }
+            }
+        }
+    }
+}

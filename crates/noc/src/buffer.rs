@@ -1,0 +1,215 @@
+//! Two-entry buffered flow control with On/Off back-pressure.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO buffer with On/Off back-pressure, as used by the L-NUCA
+/// Transport ("D") and Replacement ("U") channels.
+///
+/// The paper uses store-and-forward flow control where the flow-control digit
+/// is the whole message (links are message-wide), two entries per link and an
+/// On/Off signal: because the round-trip delay between adjacent tiles is two
+/// cycles, two entries are exactly enough to guarantee no message is dropped
+/// while the Off signal propagates. In the simulator the sender samples
+/// [`OnOffBuffer::is_on`] in the same cycle, which is equivalent in the
+/// steady state and conservative during transients.
+///
+/// # Example
+///
+/// ```
+/// use lnuca_noc::OnOffBuffer;
+///
+/// let mut b: OnOffBuffer<&str> = OnOffBuffer::new(2);
+/// b.push("hit block").unwrap();
+/// b.push("another").unwrap();
+/// assert!(!b.is_on());
+/// assert_eq!(b.push("overflow"), Err("overflow"));
+/// assert_eq!(b.pop(), Some("hit block"));
+/// assert!(b.is_on());
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnOffBuffer<T> {
+    entries: VecDeque<T>,
+    capacity: usize,
+    peak: usize,
+    pushes: u64,
+    stalls: u64,
+}
+
+impl<T> OnOffBuffer<T> {
+    /// Creates a buffer with the given capacity (the paper uses 2 entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be nonzero");
+        OnOffBuffer {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            peak: 0,
+            pushes: 0,
+            stalls: 0,
+        }
+    }
+
+    /// `true` while the buffer can accept at least one more message (the
+    /// "On" state of the back-pressure signal).
+    #[must_use]
+    pub fn is_on(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// Number of buffered messages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing is buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Buffer capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Highest occupancy observed.
+    #[must_use]
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Number of successful pushes.
+    #[must_use]
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Number of rejected pushes (sender had to stall).
+    #[must_use]
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Appends `message`, or returns it back if the buffer is Off (full).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(message)` when the buffer is full so the caller can
+    /// retry in a later cycle without cloning.
+    pub fn push(&mut self, message: T) -> Result<(), T> {
+        if self.is_on() {
+            self.entries.push_back(message);
+            self.peak = self.peak.max(self.entries.len());
+            self.pushes += 1;
+            Ok(())
+        } else {
+            self.stalls += 1;
+            Err(message)
+        }
+    }
+
+    /// Removes and returns the oldest message.
+    pub fn pop(&mut self) -> Option<T> {
+        self.entries.pop_front()
+    }
+
+    /// Peeks at the oldest message without removing it.
+    #[must_use]
+    pub fn front(&self) -> Option<&T> {
+        self.entries.front()
+    }
+
+    /// Iterates over buffered messages from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn respects_capacity_and_fifo_order() {
+        let mut b = OnOffBuffer::new(2);
+        assert!(b.is_empty());
+        b.push(1).unwrap();
+        b.push(2).unwrap();
+        assert_eq!(b.push(3), Err(3));
+        assert_eq!(b.pop(), Some(1));
+        assert_eq!(b.pop(), Some(2));
+        assert_eq!(b.pop(), None);
+    }
+
+    #[test]
+    fn on_off_signal_tracks_occupancy() {
+        let mut b = OnOffBuffer::new(2);
+        assert!(b.is_on());
+        b.push('a').unwrap();
+        assert!(b.is_on());
+        b.push('b').unwrap();
+        assert!(!b.is_on());
+        b.pop();
+        assert!(b.is_on());
+    }
+
+    #[test]
+    fn statistics_count_pushes_and_stalls() {
+        let mut b = OnOffBuffer::new(1);
+        b.push(10u8).unwrap();
+        let _ = b.push(11);
+        let _ = b.push(12);
+        assert_eq!(b.pushes(), 1);
+        assert_eq!(b.stalls(), 2);
+        assert_eq!(b.peak(), 1);
+    }
+
+    #[test]
+    fn front_and_iter_do_not_consume() {
+        let mut b = OnOffBuffer::new(4);
+        b.push(1).unwrap();
+        b.push(2).unwrap();
+        assert_eq!(b.front(), Some(&1));
+        assert_eq!(b.iter().copied().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_panics() {
+        let _ = OnOffBuffer::<u8>::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn never_holds_more_than_capacity(ops in proptest::collection::vec(any::<bool>(), 0..200), cap in 1usize..5) {
+            let mut b = OnOffBuffer::new(cap);
+            let mut model: std::collections::VecDeque<u32> = Default::default();
+            let mut counter = 0u32;
+            for push in ops {
+                if push {
+                    counter += 1;
+                    let accepted = b.push(counter).is_ok();
+                    if model.len() < cap {
+                        prop_assert!(accepted);
+                        model.push_back(counter);
+                    } else {
+                        prop_assert!(!accepted);
+                    }
+                } else {
+                    prop_assert_eq!(b.pop(), model.pop_front());
+                }
+                prop_assert!(b.len() <= cap);
+                prop_assert_eq!(b.len(), model.len());
+                prop_assert_eq!(b.is_on(), model.len() < cap);
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! On-chip network substrate for the Light NUCA reproduction.
+//!
+//! L-NUCA replaces the classic NUCA 2-D mesh with three specialised
+//! point-to-point networks (Search, Transport, Replacement) built from very
+//! simple primitives: message-wide unidirectional links, two-entry buffers
+//! with On/Off back-pressure, cut-through crossbars and distributed random
+//! routing. The D-NUCA baseline, in contrast, uses a conventional
+//! virtual-channel wormhole mesh. This crate provides both families of
+//! primitives:
+//!
+//! * [`OnOffBuffer`] — the store-and-forward flow-control buffer used by the
+//!   Transport (D) and Replacement (U) channels,
+//! * [`Topology`] — a generic directed graph over [`NodeId`]s with the
+//!   builders and distance queries the L-NUCA networks need,
+//! * [`RoutingPolicy`] — random-among-valid-outputs (the paper's choice) and
+//!   dimension-order (the ablation baseline),
+//! * [`Crossbar`] — a per-cycle output arbiter that also counts traversals
+//!   for the energy model,
+//! * [`WormholeMesh`] — the virtual-channel mesh latency/contention model
+//!   used by the D-NUCA substrate.
+//!
+//! # Example
+//!
+//! ```
+//! use lnuca_noc::{OnOffBuffer, Topology, NodeId};
+//!
+//! let mut buffer: OnOffBuffer<u32> = OnOffBuffer::new(2);
+//! assert!(buffer.is_on());
+//! buffer.push(7).expect("space available");
+//! assert_eq!(buffer.pop(), Some(7));
+//!
+//! let mut topo = Topology::new(3);
+//! topo.add_edge(NodeId(0), NodeId(1));
+//! topo.add_edge(NodeId(1), NodeId(2));
+//! assert_eq!(topo.distance(NodeId(0), NodeId(2)), Some(2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod crossbar;
+pub mod mesh;
+pub mod routing;
+pub mod topology;
+
+pub use buffer::OnOffBuffer;
+pub use crossbar::Crossbar;
+pub use mesh::{MeshConfig, WormholeMesh};
+pub use routing::RoutingPolicy;
+pub use topology::{NodeId, Topology};

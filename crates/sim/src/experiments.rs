@@ -1,0 +1,485 @@
+//! One entry point per table/figure of the paper's evaluation.
+//!
+//! The evaluation has two halves, each driven by one [`Study`]:
+//!
+//! * the **conventional** study (Figs. 4(a), 4(b) and Table III) compares
+//!   `L2-256KB` against `LN2/LN3/LN4` backed by the 8 MB L3,
+//! * the **D-NUCA** study (Figs. 5(a) and 5(b)) compares `DN-4x8` against
+//!   `LN2/LN3/LN4 + DN-4x8`.
+//!
+//! A study runs every configuration on every synthetic benchmark of both
+//! suites once; the per-figure summaries are then derived from the stored
+//! [`RunResult`]s, so the expensive simulations are never repeated.
+//! Table II (area) needs no simulation and is computed from the area model.
+
+use crate::configs::{self, HierarchyKind};
+use crate::energy_model;
+use crate::system::{RunResult, System};
+use lnuca_energy::{AreaModel, PAPER_TABLE2};
+use lnuca_types::stats::harmonic_mean;
+use lnuca_types::ConfigError;
+use lnuca_workloads::{suites, Suite, WorkloadProfile};
+use serde::{Deserialize, Serialize};
+
+/// Knobs shared by every experiment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExperimentOptions {
+    /// Instructions simulated per (configuration, benchmark) pair.
+    pub instructions: u64,
+    /// Base seed for the synthetic traces.
+    pub seed: u64,
+    /// Restrict each suite to its first N benchmarks (None = all eleven).
+    pub benchmarks_per_suite: Option<usize>,
+    /// L-NUCA level counts to evaluate (the paper uses 2, 3 and 4).
+    pub lnuca_levels: Vec<u8>,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        ExperimentOptions {
+            instructions: 200_000,
+            seed: 1,
+            benchmarks_per_suite: None,
+            lnuca_levels: vec![2, 3, 4],
+        }
+    }
+}
+
+impl ExperimentOptions {
+    /// A reduced option set for quick smoke runs and unit tests.
+    #[must_use]
+    pub fn quick() -> Self {
+        ExperimentOptions {
+            instructions: 5_000,
+            seed: 1,
+            benchmarks_per_suite: Some(2),
+            lnuca_levels: vec![2, 3],
+        }
+    }
+
+    fn workloads(&self) -> Vec<WorkloadProfile> {
+        let take = |v: Vec<WorkloadProfile>| match self.benchmarks_per_suite {
+            Some(n) => v.into_iter().take(n).collect(),
+            None => v,
+        };
+        let mut all = take(suites::spec_int_like());
+        all.extend(take(suites::spec_fp_like()));
+        all
+    }
+}
+
+/// All simulation results of one half of the evaluation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Study {
+    /// Label of the baseline configuration the others are normalised to.
+    pub baseline: String,
+    /// Configuration labels in evaluation order (baseline first).
+    pub configs: Vec<String>,
+    /// One result per (configuration, benchmark).
+    pub results: Vec<RunResult>,
+}
+
+/// One row of Fig. 4(a) / Fig. 5(a): harmonic-mean IPC per suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IpcSummaryRow {
+    /// Configuration label.
+    pub label: String,
+    /// Harmonic-mean IPC over the Integer suite.
+    pub int_ipc: f64,
+    /// Harmonic-mean IPC over the Floating-Point suite.
+    pub fp_ipc: f64,
+    /// Percent change of `int_ipc` versus the baseline configuration.
+    pub int_gain_pct: f64,
+    /// Percent change of `fp_ipc` versus the baseline configuration.
+    pub fp_gain_pct: f64,
+}
+
+/// One row of Fig. 4(b) / Fig. 5(b): energy normalised to the baseline,
+/// split into the paper's four bar segments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergySummaryRow {
+    /// Configuration label.
+    pub label: String,
+    /// Dynamic energy / baseline total energy.
+    pub dynamic: f64,
+    /// Static L1 (root tile) energy / baseline total energy.
+    pub static_l1: f64,
+    /// Static L2-or-tiles energy / baseline total energy.
+    pub static_second: f64,
+    /// Static L3-or-D-NUCA energy / baseline total energy.
+    pub static_last: f64,
+    /// Total normalised energy (sum of the four segments).
+    pub total: f64,
+}
+
+/// One row of Table III: read hits per L-NUCA level relative to the read
+/// hits of the baseline's second level, plus the transport-contention ratio.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HitDistributionRow {
+    /// Configuration label.
+    pub label: String,
+    /// Workload suite the row aggregates.
+    pub suite: Suite,
+    /// Per-level percentage (index 0 = Le2) relative to baseline L2 hits.
+    pub level_percent: Vec<f64>,
+    /// Sum of all levels, relative to baseline L2 hits.
+    pub all_levels_percent: f64,
+    /// Average-to-minimum Transport-network latency ratio.
+    pub avg_to_min_transport: f64,
+}
+
+/// One row of Table II: configuration areas, paper value and model value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AreaRow {
+    /// Configuration label.
+    pub label: String,
+    /// Area printed in the paper (mm²), if the paper tabulates it.
+    pub paper_mm2: Option<f64>,
+    /// Area computed by the analytical model (mm²).
+    pub model_mm2: f64,
+    /// Network share printed in the paper (percent).
+    pub paper_network_pct: Option<f64>,
+    /// Network share computed by the model (percent).
+    pub model_network_pct: f64,
+}
+
+/// The headline comparison of the paper's abstract/conclusion: LN3-144KB
+/// versus L2-256KB.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeadlineSummary {
+    /// Area change of LN3 versus the baseline, in percent (negative = saves
+    /// area).
+    pub area_change_pct: f64,
+    /// Integer IPC change in percent.
+    pub int_ipc_gain_pct: f64,
+    /// Floating-point IPC change in percent.
+    pub fp_ipc_gain_pct: f64,
+    /// Total energy change in percent (negative = saves energy).
+    pub energy_change_pct: f64,
+}
+
+impl Study {
+    /// Runs the conventional-hierarchy study (baseline `L2-256KB` plus the
+    /// requested L-NUCA configurations).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any configuration is invalid.
+    pub fn conventional(opts: &ExperimentOptions) -> Result<Self, ConfigError> {
+        let mut kinds = vec![HierarchyKind::Conventional(configs::conventional())];
+        for &levels in &opts.lnuca_levels {
+            kinds.push(HierarchyKind::LNucaL3(configs::lnuca_hierarchy(levels)));
+        }
+        Self::run(kinds, opts)
+    }
+
+    /// Runs the D-NUCA study (baseline `DN-4x8` plus L-NUCA + D-NUCA
+    /// configurations).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any configuration is invalid.
+    pub fn dnuca(opts: &ExperimentOptions) -> Result<Self, ConfigError> {
+        let mut kinds = vec![HierarchyKind::DNuca(configs::dnuca_hierarchy())];
+        for &levels in &opts.lnuca_levels {
+            kinds.push(HierarchyKind::LNucaDNuca(configs::lnuca_dnuca_hierarchy(levels)));
+        }
+        Self::run(kinds, opts)
+    }
+
+    fn run(kinds: Vec<HierarchyKind>, opts: &ExperimentOptions) -> Result<Self, ConfigError> {
+        let workloads = opts.workloads();
+        let baseline = kinds[0].label();
+        let configs: Vec<String> = kinds.iter().map(HierarchyKind::label).collect();
+        let mut results = Vec::with_capacity(kinds.len() * workloads.len());
+        for kind in &kinds {
+            for (i, profile) in workloads.iter().enumerate() {
+                let seed = opts.seed.wrapping_add(i as u64);
+                results.push(System::run_workload(kind, profile, opts.instructions, seed)?);
+            }
+        }
+        Ok(Study {
+            baseline,
+            configs,
+            results,
+        })
+    }
+
+    /// Results belonging to one configuration.
+    pub fn results_for<'a>(&'a self, label: &'a str) -> impl Iterator<Item = &'a RunResult> {
+        self.results.iter().filter(move |r| r.label == label)
+    }
+
+    fn suite_ipcs(&self, label: &str, suite: Suite) -> Vec<f64> {
+        self.results_for(label)
+            .filter(|r| r.suite == suite)
+            .map(|r| r.ipc)
+            .collect()
+    }
+
+    /// Harmonic-mean IPC per suite for every configuration (Figs. 4(a) and
+    /// 5(a)).
+    #[must_use]
+    pub fn ipc_summary(&self) -> Vec<IpcSummaryRow> {
+        let base_int = harmonic_mean(&self.suite_ipcs(&self.baseline, Suite::Integer)).unwrap_or(1.0);
+        let base_fp =
+            harmonic_mean(&self.suite_ipcs(&self.baseline, Suite::FloatingPoint)).unwrap_or(1.0);
+        self.configs
+            .iter()
+            .map(|label| {
+                let int_ipc =
+                    harmonic_mean(&self.suite_ipcs(label, Suite::Integer)).unwrap_or(0.0);
+                let fp_ipc =
+                    harmonic_mean(&self.suite_ipcs(label, Suite::FloatingPoint)).unwrap_or(0.0);
+                IpcSummaryRow {
+                    label: label.clone(),
+                    int_ipc,
+                    fp_ipc,
+                    int_gain_pct: (int_ipc / base_int - 1.0) * 100.0,
+                    fp_gain_pct: (fp_ipc / base_fp - 1.0) * 100.0,
+                }
+            })
+            .collect()
+    }
+
+    /// Average energy per configuration, normalised to the baseline's
+    /// average total energy and split into the paper's four bar segments
+    /// (Figs. 4(b) and 5(b)).
+    #[must_use]
+    pub fn energy_summary(&self) -> Vec<EnergySummaryRow> {
+        let mean_components = |label: &str| -> (f64, f64, f64, f64) {
+            let runs: Vec<&RunResult> = self.results_for(label).collect();
+            let n = runs.len().max(1) as f64;
+            let sum = |f: &dyn Fn(&RunResult) -> f64| runs.iter().map(|r| f(r)).sum::<f64>() / n;
+            (
+                sum(&|r| r.energy.total_dynamic_pj()),
+                sum(&|r| r.energy.static_pj(energy_model::STATIC_L1)),
+                sum(&|r| r.energy.static_pj(energy_model::STATIC_SECOND)),
+                sum(&|r| r.energy.static_pj(energy_model::STATIC_LAST)),
+            )
+        };
+        let (bd, bl1, bsec, blast) = mean_components(&self.baseline);
+        let baseline_total = bd + bl1 + bsec + blast;
+        self.configs
+            .iter()
+            .map(|label| {
+                let (d, l1, sec, last) = mean_components(label);
+                let norm = |v: f64| if baseline_total > 0.0 { v / baseline_total } else { 0.0 };
+                EnergySummaryRow {
+                    label: label.clone(),
+                    dynamic: norm(d),
+                    static_l1: norm(l1),
+                    static_second: norm(sec),
+                    static_last: norm(last),
+                    total: norm(d + l1 + sec + last),
+                }
+            })
+            .collect()
+    }
+
+    /// Table III: per-level L-NUCA read hits relative to the baseline's
+    /// second-level read hits, and the transport contention ratio, per
+    /// suite. Configurations without a fabric (the baselines) are skipped.
+    #[must_use]
+    pub fn hit_distribution(&self) -> Vec<HitDistributionRow> {
+        let mut rows = Vec::new();
+        for label in &self.configs {
+            for suite in [Suite::Integer, Suite::FloatingPoint] {
+                let runs: Vec<&RunResult> = self
+                    .results_for(label)
+                    .filter(|r| r.suite == suite)
+                    .collect();
+                if runs.is_empty() || runs.iter().all(|r| r.hierarchy.lnuca.is_none()) {
+                    continue;
+                }
+                let baseline_hits: u64 = self
+                    .results_for(&self.baseline)
+                    .filter(|r| r.suite == suite)
+                    .map(|r| r.hierarchy.second_level_read_hits())
+                    .sum();
+                let levels = runs
+                    .iter()
+                    .filter_map(|r| r.hierarchy.lnuca.as_ref())
+                    .map(|s| s.read_hits_per_level.len())
+                    .max()
+                    .unwrap_or(0);
+                let mut level_percent = Vec::with_capacity(levels);
+                for level_idx in 0..levels {
+                    let hits: u64 = runs
+                        .iter()
+                        .filter_map(|r| r.hierarchy.lnuca.as_ref())
+                        .map(|s| s.read_hits_per_level.get(level_idx).copied().unwrap_or(0))
+                        .sum();
+                    level_percent.push(percent_of(hits, baseline_hits));
+                }
+                let all: f64 = level_percent.iter().sum();
+                let latency_sum: u64 = runs
+                    .iter()
+                    .filter_map(|r| r.hierarchy.lnuca.as_ref())
+                    .map(|s| s.transport_latency_sum)
+                    .sum();
+                let min_sum: u64 = runs
+                    .iter()
+                    .filter_map(|r| r.hierarchy.lnuca.as_ref())
+                    .map(|s| s.transport_min_latency_sum)
+                    .sum();
+                rows.push(HitDistributionRow {
+                    label: label.clone(),
+                    suite,
+                    level_percent,
+                    all_levels_percent: all,
+                    avg_to_min_transport: if min_sum == 0 {
+                        1.0
+                    } else {
+                        latency_sum as f64 / min_sum as f64
+                    },
+                });
+            }
+        }
+        rows
+    }
+}
+
+fn percent_of(value: u64, baseline: u64) -> f64 {
+    if baseline == 0 {
+        0.0
+    } else {
+        value as f64 / baseline as f64 * 100.0
+    }
+}
+
+/// Table II: the areas of the conventional baseline and of the L-NUCA
+/// configurations, both as published and as computed by the analytical area
+/// model.
+#[must_use]
+pub fn area_table() -> Vec<AreaRow> {
+    const KB: u64 = 1024;
+    let model = AreaModel::paper();
+    let configs = [
+        ("L2-256KB", None),
+        ("LN2-72KB", Some(5usize)),
+        ("LN3-144KB", Some(14)),
+        ("LN4-248KB", Some(27)),
+    ];
+    configs
+        .iter()
+        .map(|(label, tiles)| {
+            let (model_mm2, model_net) = match tiles {
+                None => (model.conventional_mm2(32 * KB, 256 * KB), 0.0),
+                Some(t) => (
+                    model.lnuca_mm2(32 * KB, *t, 8 * KB),
+                    model.lnuca_network_percent(32 * KB, *t, 8 * KB),
+                ),
+            };
+            let paper = PAPER_TABLE2.iter().find(|row| row.name == *label);
+            AreaRow {
+                label: (*label).to_owned(),
+                paper_mm2: paper.map(|p| p.area_mm2),
+                model_mm2,
+                paper_network_pct: paper.map(|p| p.network_percent),
+                model_network_pct: model_net,
+            }
+        })
+        .collect()
+}
+
+/// The headline comparison (abstract/§V-A): LN3-144KB versus L2-256KB in
+/// area, IPC and energy. Uses the given conventional [`Study`] for the
+/// simulated quantities and the area model for the area.
+#[must_use]
+pub fn headline(study: &Study) -> HeadlineSummary {
+    let areas = area_table();
+    let base_area = areas
+        .iter()
+        .find(|a| a.label == "L2-256KB")
+        .map(|a| a.model_mm2)
+        .unwrap_or(1.0);
+    let ln3_area = areas
+        .iter()
+        .find(|a| a.label == "LN3-144KB")
+        .map(|a| a.model_mm2)
+        .unwrap_or(base_area);
+
+    let ipc = study.ipc_summary();
+    let ln3_ipc = ipc.iter().find(|r| r.label.starts_with("LN3"));
+    let energy = study.energy_summary();
+    let ln3_energy = energy.iter().find(|r| r.label.starts_with("LN3"));
+
+    HeadlineSummary {
+        area_change_pct: (ln3_area / base_area - 1.0) * 100.0,
+        int_ipc_gain_pct: ln3_ipc.map(|r| r.int_gain_pct).unwrap_or(0.0),
+        fp_ipc_gain_pct: ln3_ipc.map(|r| r.fp_gain_pct).unwrap_or(0.0),
+        energy_change_pct: ln3_energy.map(|r| (r.total - 1.0) * 100.0).unwrap_or(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_table_contains_all_four_configurations_and_paper_values() {
+        let rows = area_table();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].label, "L2-256KB");
+        assert_eq!(rows[0].paper_mm2, Some(0.91));
+        assert!(rows[2].model_mm2 < rows[0].model_mm2, "LN3 saves area vs the baseline");
+        assert!(rows[3].model_mm2 > rows[0].model_mm2, "LN4 costs more area");
+        assert!(rows[1].model_network_pct > 0.0);
+    }
+
+    #[test]
+    fn quick_conventional_study_produces_all_summaries() {
+        let opts = ExperimentOptions::quick();
+        let study = Study::conventional(&opts).unwrap();
+        // 3 configs (baseline + LN2 + LN3) x 4 workloads (2 per suite).
+        assert_eq!(study.configs.len(), 3);
+        assert_eq!(study.results.len(), 3 * 4);
+
+        let ipc = study.ipc_summary();
+        assert_eq!(ipc.len(), 3);
+        assert_eq!(ipc[0].label, "L2-256KB");
+        assert!(ipc.iter().all(|r| r.int_ipc > 0.0 && r.fp_ipc > 0.0));
+        assert!((ipc[0].int_gain_pct).abs() < 1e-9, "baseline gain is zero by definition");
+
+        let energy = study.energy_summary();
+        assert_eq!(energy.len(), 3);
+        assert!((energy[0].total - 1.0).abs() < 1e-9, "baseline normalises to 1.0");
+        assert!(energy.iter().all(|r| r.static_last > 0.0));
+
+        let hits = study.hit_distribution();
+        // Two suites per L-NUCA configuration.
+        assert_eq!(hits.len(), 2 * 2);
+        for row in &hits {
+            assert!(row.avg_to_min_transport >= 1.0);
+            assert!(row.all_levels_percent >= 0.0);
+            assert!(!row.level_percent.is_empty());
+        }
+    }
+
+    #[test]
+    fn quick_dnuca_study_runs() {
+        let mut opts = ExperimentOptions::quick();
+        opts.lnuca_levels = vec![2];
+        opts.benchmarks_per_suite = Some(1);
+        let study = Study::dnuca(&opts).unwrap();
+        assert_eq!(study.baseline, "DN-4x8");
+        assert_eq!(study.configs.len(), 2);
+        let ipc = study.ipc_summary();
+        assert!(ipc.iter().all(|r| r.int_ipc > 0.0));
+        let energy = study.energy_summary();
+        assert!((energy[0].total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn headline_uses_ln3_when_present() {
+        let mut opts = ExperimentOptions::quick();
+        opts.lnuca_levels = vec![3];
+        opts.benchmarks_per_suite = Some(1);
+        let study = Study::conventional(&opts).unwrap();
+        let h = headline(&study);
+        assert!(h.area_change_pct < 0.0, "LN3 must save area vs L2-256KB");
+        assert!(h.int_ipc_gain_pct.is_finite());
+        assert!(h.energy_change_pct.is_finite());
+    }
+}

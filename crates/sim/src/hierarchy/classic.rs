@@ -1,0 +1,354 @@
+//! The hierarchies with a conventional L1 in front: the 3-level baseline
+//! (Fig. 1(a)) and L1 + D-NUCA (Fig. 1(c)).
+
+use crate::configs::{self, ConventionalConfig, DNucaOnlyConfig};
+use crate::hierarchy::{HierarchyStats, OuterLevel};
+use lnuca_cpu::DataMemory;
+use lnuca_dnuca::DNuca;
+use lnuca_mem::{
+    AccessOutcome, ConventionalCache, MainMemory, MshrAllocation, MshrFile, WriteBuffer,
+};
+use lnuca_types::{Addr, ConfigError, Cycle, MemRequest, MemResponse, ServiceLevel};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// A hierarchy with a conventional (non-tiled) L1 in front of an
+/// [`OuterLevel`]: either L1 + L2 + L3 or L1 + D-NUCA.
+///
+/// The L1 is write-through with write-allocate; store traffic is absorbed by
+/// a coalescing write buffer and drained one block per cycle to the outer
+/// level (marking it dirty there), matching the 32-entry write buffers of
+/// Table I. Misses allocate one of the 16 L1 MSHRs; when all are busy the
+/// request is rejected and the core retries, which is how limited
+/// memory-level parallelism is enforced.
+#[derive(Debug)]
+pub struct ClassicHierarchy {
+    label: String,
+    l1: ConventionalCache,
+    l1_mshrs: MshrFile,
+    write_buffer: WriteBuffer,
+    outer: OuterLevel,
+    memory: MainMemory,
+    /// Completion time and attribution of in-flight block fetches, keyed by
+    /// the L1 block index.
+    outstanding: HashMap<u64, (Cycle, ServiceLevel)>,
+    completions: VecDeque<MemResponse>,
+    write_drains: u64,
+}
+
+impl ClassicHierarchy {
+    /// Builds the conventional three-level hierarchy (`L2-256KB` baseline).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any component configuration is invalid.
+    pub fn conventional(config: &ConventionalConfig) -> Result<Self, ConfigError> {
+        let label = crate::configs::HierarchyKind::Conventional(config.clone()).label();
+        Ok(ClassicHierarchy {
+            label,
+            l1: ConventionalCache::new(config.l1.clone())?,
+            l1_mshrs: MshrFile::new(
+                configs::L1_MSHRS,
+                configs::MSHR_SECONDARY,
+                config.l1.block_size,
+            )?,
+            write_buffer: WriteBuffer::new(configs::WRITE_BUFFER_ENTRIES, config.l2.block_size)?,
+            outer: OuterLevel::L2L3 {
+                l2: ConventionalCache::new(config.l2.clone())?,
+                l3: ConventionalCache::new(config.l3.clone())?,
+            },
+            memory: MainMemory::new(config.memory)?,
+            outstanding: HashMap::new(),
+            completions: VecDeque::new(),
+            write_drains: 0,
+        })
+    }
+
+    /// Builds the L1 + D-NUCA hierarchy (`DN-4x8` baseline).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any component configuration is invalid.
+    pub fn dnuca(config: &DNucaOnlyConfig) -> Result<Self, ConfigError> {
+        let label = crate::configs::HierarchyKind::DNuca(config.clone()).label();
+        Ok(ClassicHierarchy {
+            label,
+            l1: ConventionalCache::new(config.l1.clone())?,
+            l1_mshrs: MshrFile::new(
+                configs::L1_MSHRS,
+                configs::MSHR_SECONDARY,
+                config.l1.block_size,
+            )?,
+            write_buffer: WriteBuffer::new(
+                configs::WRITE_BUFFER_ENTRIES,
+                config.dnuca.block_size,
+            )?,
+            outer: OuterLevel::DNuca {
+                dnuca: DNuca::new(config.dnuca.clone())?,
+            },
+            memory: MainMemory::new(config.memory)?,
+            outstanding: HashMap::new(),
+            completions: VecDeque::new(),
+            write_drains: 0,
+        })
+    }
+
+    /// Snapshot of the accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> HierarchyStats {
+        HierarchyStats {
+            label: self.label.clone(),
+            l1: *self.l1.stats(),
+            l2: self.outer.l2_stats(),
+            l3: self.outer.l3_stats(),
+            lnuca: None,
+            lnuca_tiles: 0,
+            dnuca: self.outer.dnuca_stats(),
+            dnuca_mesh: self.outer.dnuca_mesh_stats(),
+            dnuca_banks: self.outer.dnuca_banks(),
+            memory_accesses: self.memory.accesses(),
+            write_drains: self.write_drains,
+        }
+    }
+
+    /// Configuration label (e.g. `L2-256KB`).
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn block_key(&self, addr: Addr) -> u64 {
+        addr.block_index(self.l1.config().block_size)
+    }
+}
+
+impl DataMemory for ClassicHierarchy {
+    fn issue(&mut self, req: MemRequest, now: Cycle) -> bool {
+        let addr = req.addr;
+        let is_write = req.kind.is_write();
+        let key = self.block_key(addr);
+
+        // A fetch of this block is already in flight: merge into it.
+        if self.l1_mshrs.is_pending(addr) {
+            return match self.l1_mshrs.allocate(addr, req.id) {
+                MshrAllocation::Secondary | MshrAllocation::Primary => {
+                    let (completion, served) = self.outstanding[&key];
+                    if is_write {
+                        let _ = self.write_buffer.push(addr);
+                    }
+                    self.completions.push_back(MemResponse::for_request(
+                        &req,
+                        completion.max(now),
+                        served,
+                    ));
+                    true
+                }
+                MshrAllocation::Full => false,
+            };
+        }
+
+        // A new miss would need a free MSHR; reject early so the L1 port and
+        // the miss counters are not touched by a request that must retry.
+        if !self.l1.probe(addr) && self.l1_mshrs.is_full() {
+            return false;
+        }
+
+        match self.l1.access(addr, is_write, now) {
+            AccessOutcome::Hit { ready_at } => {
+                if is_write {
+                    let _ = self.write_buffer.push(addr);
+                }
+                self.completions
+                    .push_back(MemResponse::for_request(&req, ready_at, ServiceLevel::L1));
+                true
+            }
+            AccessOutcome::Miss { determined_at } => {
+                match self.l1_mshrs.allocate(addr, req.id) {
+                    MshrAllocation::Primary => {}
+                    MshrAllocation::Secondary | MshrAllocation::Full => {
+                        unreachable!("pending and full cases were handled above")
+                    }
+                }
+                let (completion, served) =
+                    self.outer
+                        .fetch(addr, is_write, determined_at, &mut self.memory);
+                // Write-allocate: the block is installed in the L1; its
+                // victim is clean because the L1 is write-through.
+                let _ = self.l1.fill(addr, false);
+                if is_write {
+                    let _ = self.write_buffer.push(addr);
+                }
+                self.outstanding.insert(key, (completion, served));
+                self.completions
+                    .push_back(MemResponse::for_request(&req, completion, served));
+                true
+            }
+        }
+    }
+
+    fn completions(&mut self, now: Cycle) -> Vec<MemResponse> {
+        let mut ready = Vec::new();
+        let mut waiting = VecDeque::new();
+        while let Some(resp) = self.completions.pop_front() {
+            if resp.completed_at <= now {
+                ready.push(resp);
+            } else {
+                waiting.push_back(resp);
+            }
+        }
+        self.completions = waiting;
+        ready
+    }
+
+    fn tick(&mut self, now: Cycle) {
+        // Retire finished fetches so their MSHR entries free up.
+        let finished: Vec<u64> = self
+            .outstanding
+            .iter()
+            .filter(|(_, (completion, _))| *completion <= now)
+            .map(|(&key, _)| key)
+            .collect();
+        for key in finished {
+            self.outstanding.remove(&key);
+            let addr = Addr(key * self.l1.config().block_size);
+            let _ = self.l1_mshrs.complete(addr);
+        }
+        // Drain one coalesced write per cycle toward the outer level.
+        if let Some(addr) = self.write_buffer.drain_one() {
+            self.outer.write_through(addr);
+            self.write_drains += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lnuca_types::ReqId;
+
+    fn conventional() -> ClassicHierarchy {
+        ClassicHierarchy::conventional(&configs::conventional()).unwrap()
+    }
+
+    fn read(id: u64, addr: u64, at: u64) -> MemRequest {
+        MemRequest::read(ReqId(id), Addr(addr), Cycle(at))
+    }
+
+    #[test]
+    fn first_access_goes_to_memory_and_repeat_hits_l1() {
+        let mut h = conventional();
+        assert!(h.issue(read(1, 0x5000, 0), Cycle(0)));
+        let resp = wait_for(&mut h, 1);
+        assert_eq!(resp.served_by, ServiceLevel::Memory);
+        assert!(resp.latency() > 200);
+
+        assert!(h.issue(read(2, 0x5000, 5_000), Cycle(5_000)));
+        let resp = wait_for(&mut h, 2);
+        assert_eq!(resp.served_by, ServiceLevel::L1);
+        assert_eq!(resp.latency(), 2);
+    }
+
+    #[test]
+    fn l1_victims_are_refetched_from_the_l2() {
+        let mut h = conventional();
+        // Touch a block, then push it out of the 32 KB L1 by touching enough
+        // conflicting blocks (same L1 set, different tags) — but few enough
+        // that the 8-way L2 still holds the original block.
+        assert!(h.issue(read(1, 0x0, 0), Cycle(0)));
+        let _ = wait_for(&mut h, 1);
+        for i in 0..5u64 {
+            let conflict = 0x8000 * (i + 1); // 32 KB apart => same L1 set
+            assert!(h.issue(read(10 + i, conflict, 10_000 + i * 600), Cycle(10_000 + i * 600)));
+            let _ = wait_for(&mut h, 10 + i);
+        }
+        assert!(h.issue(read(99, 0x0, 100_000), Cycle(100_000)));
+        let resp = wait_for(&mut h, 99);
+        assert_eq!(resp.served_by, ServiceLevel::L2, "evicted L1 block must still be in the L2");
+        assert!(resp.latency() < 30);
+    }
+
+    #[test]
+    fn mshr_exhaustion_rejects_new_primary_misses() {
+        let mut h = conventional();
+        // 16 distinct missing blocks fill the MSHR file.
+        for i in 0..16u64 {
+            assert!(h.issue(read(i, 0x100_0000 + i * 4096, 0), Cycle(0)));
+        }
+        assert!(
+            !h.issue(read(99, 0xFFF_0000, 0), Cycle(0)),
+            "the 17th outstanding miss must be rejected"
+        );
+        // Accesses to an already-outstanding block still merge.
+        assert!(h.issue(read(100, 0x100_0000, 0), Cycle(0)));
+    }
+
+    #[test]
+    fn secondary_misses_complete_with_the_primary() {
+        let mut h = conventional();
+        assert!(h.issue(read(1, 0x9000, 0), Cycle(0)));
+        assert!(h.issue(read(2, 0x9010, 1), Cycle(1)));
+        // Collect both completions in one pass so neither is dropped.
+        let mut got: Vec<MemResponse> = Vec::new();
+        for c in 0..10_000u64 {
+            h.tick(Cycle(c));
+            got.extend(h.completions(Cycle(c)));
+            if got.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].completed_at, got[1].completed_at, "merged misses finish together");
+        assert_eq!(got[0].served_by, got[1].served_by);
+    }
+
+    #[test]
+    fn writes_complete_at_l1_speed_and_dirty_the_l2_via_the_write_buffer() {
+        let mut h = conventional();
+        // Bring the block on chip first.
+        assert!(h.issue(read(1, 0x4000, 0), Cycle(0)));
+        let _ = wait_for(&mut h, 1);
+        let w = MemRequest::write(ReqId(2), Addr(0x4000), Cycle(2_000));
+        assert!(h.issue(w, Cycle(2_000)));
+        let resp = wait_for(&mut h, 2);
+        assert_eq!(resp.served_by, ServiceLevel::L1);
+        assert_eq!(resp.latency(), 2);
+        // Let the write buffer drain.
+        for c in 2_010..2_100 {
+            h.tick(Cycle(c));
+        }
+        assert!(h.stats().write_drains >= 1);
+    }
+
+    #[test]
+    fn dnuca_variant_attributes_hits_to_rows() {
+        let mut h = ClassicHierarchy::dnuca(&configs::dnuca_hierarchy()).unwrap();
+        assert!(h.issue(read(1, 0x7_0000, 0), Cycle(0)));
+        let first = wait_for(&mut h, 1);
+        assert_eq!(first.served_by, ServiceLevel::Memory);
+        // Evict from L1 by conflicting blocks, then re-access: now served by
+        // the D-NUCA.
+        for i in 0..5u64 {
+            assert!(h.issue(read(10 + i, 0x7_0000 + 0x8000 * (i + 1), 10_000 + i * 600), Cycle(10_000 + i * 600)));
+            let _ = wait_for(&mut h, 10 + i);
+        }
+        assert!(h.issue(read(99, 0x7_0000, 100_000), Cycle(100_000)));
+        let again = wait_for(&mut h, 99);
+        assert!(matches!(again.served_by, ServiceLevel::DNucaRow(_)));
+        let stats = h.stats();
+        assert!(stats.dnuca.is_some());
+        assert_eq!(stats.dnuca_banks, 32);
+    }
+
+    /// Drives ticks forward until the response for `id` appears.
+    fn wait_for(h: &mut ClassicHierarchy, id: u64) -> MemResponse {
+        for c in 0..2_000_000u64 {
+            h.tick(Cycle(c));
+            for r in h.completions(Cycle(c)) {
+                if r.id == ReqId(id) {
+                    return r;
+                }
+            }
+        }
+        panic!("request {id} never completed");
+    }
+}

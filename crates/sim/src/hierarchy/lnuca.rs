@@ -1,0 +1,442 @@
+//! The hierarchies with an L-NUCA fabric behind the root tile:
+//! L-NUCA + L3 (Fig. 1(b)) and L-NUCA + D-NUCA (Fig. 1(d)).
+
+use crate::configs::{self, LNucaDNucaConfig, LNucaL3Config};
+use crate::hierarchy::{HierarchyStats, OuterLevel};
+use lnuca_core::LNuca;
+use lnuca_cpu::DataMemory;
+use lnuca_dnuca::DNuca;
+use lnuca_mem::{
+    AccessOutcome, ConventionalCache, MainMemory, MshrAllocation, MshrFile, WriteBuffer,
+};
+use lnuca_types::{Addr, ConfigError, Cycle, MemRequest, MemResponse, ReqId, ServiceLevel};
+use std::collections::{HashMap, VecDeque};
+
+/// A pending search waiting for the single injection port of the Search
+/// network.
+#[derive(Debug, Clone, Copy)]
+struct PendingSearch {
+    addr: Addr,
+    req: ReqId,
+    is_write: bool,
+    ready_at: Cycle,
+}
+
+/// Requests (by originating [`ReqId`]) waiting on an in-flight block fetch,
+/// keyed by L1 block index. The original request metadata is needed to build
+/// the responses once the fabric or the outer level produces the block.
+type WaiterMap = HashMap<u64, Vec<MemRequest>>;
+
+/// An L-NUCA hierarchy: the root tile (a conventional write-through L1 with
+/// flow-control logic), the tile fabric, and an outer level (L3 or D-NUCA).
+///
+/// Misses in the root tile launch a search in the fabric (one injection per
+/// cycle); hits anywhere in the fabric come back through the Transport
+/// network and fill the root tile, whose victim re-enters the fabric through
+/// the Replacement network — the distributed-victim-cache behaviour at the
+/// heart of the paper. Global misses are forwarded to the outer level, and
+/// blocks spilled by the outermost tiles are written back there when dirty.
+#[derive(Debug)]
+pub struct LNucaHierarchy {
+    label: String,
+    l1: ConventionalCache,
+    l1_mshrs: MshrFile,
+    fabric: LNuca,
+    outer: OuterLevel,
+    memory: MainMemory,
+    write_buffer: WriteBuffer,
+    pending_searches: VecDeque<PendingSearch>,
+    waiters: WaiterMap,
+    completions: VecDeque<MemResponse>,
+    write_drains: u64,
+}
+
+impl LNucaHierarchy {
+    /// Builds the L-NUCA + L3 hierarchy (`LNx` configurations of Fig. 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any component configuration is invalid.
+    pub fn with_l3(config: &LNucaL3Config) -> Result<Self, ConfigError> {
+        let label = crate::configs::HierarchyKind::LNucaL3(config.clone()).label();
+        Self::build(
+            label,
+            &config.l1,
+            config.lnuca.clone(),
+            OuterLevel::L3Only {
+                l3: ConventionalCache::new(config.l3.clone())?,
+            },
+            config.memory,
+            config.l3.block_size,
+        )
+    }
+
+    /// Builds the L-NUCA + D-NUCA hierarchy (`LNx + DN-4x8` of Fig. 5).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any component configuration is invalid.
+    pub fn with_dnuca(config: &LNucaDNucaConfig) -> Result<Self, ConfigError> {
+        let label = crate::configs::HierarchyKind::LNucaDNuca(config.clone()).label();
+        Self::build(
+            label,
+            &config.l1,
+            config.lnuca.clone(),
+            OuterLevel::DNuca {
+                dnuca: DNuca::new(config.dnuca.clone())?,
+            },
+            config.memory,
+            config.dnuca.block_size,
+        )
+    }
+
+    fn build(
+        label: String,
+        l1: &lnuca_mem::CacheConfig,
+        lnuca: lnuca_core::LNucaConfig,
+        outer: OuterLevel,
+        memory: lnuca_mem::MemoryConfig,
+        outer_block: u64,
+    ) -> Result<Self, ConfigError> {
+        Ok(LNucaHierarchy {
+            label,
+            l1: ConventionalCache::new(l1.clone())?,
+            l1_mshrs: MshrFile::new(configs::L1_MSHRS, configs::MSHR_SECONDARY, l1.block_size)?,
+            fabric: LNuca::new(lnuca)?,
+            outer,
+            memory: MainMemory::new(memory)?,
+            write_buffer: WriteBuffer::new(configs::WRITE_BUFFER_ENTRIES, outer_block)?,
+            pending_searches: VecDeque::new(),
+            waiters: HashMap::new(),
+            completions: VecDeque::new(),
+            write_drains: 0,
+        })
+    }
+
+    /// Snapshot of the accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> HierarchyStats {
+        HierarchyStats {
+            label: self.label.clone(),
+            l1: *self.l1.stats(),
+            l2: None,
+            l3: self.outer.l3_stats(),
+            lnuca: Some(self.fabric.stats().clone()),
+            lnuca_tiles: self.fabric.geometry().tile_count(),
+            dnuca: self.outer.dnuca_stats(),
+            dnuca_mesh: self.outer.dnuca_mesh_stats(),
+            dnuca_banks: self.outer.dnuca_banks(),
+            memory_accesses: self.memory.accesses(),
+            write_drains: self.write_drains,
+        }
+    }
+
+    /// Configuration label (e.g. `LN3-144KB`).
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The L-NUCA fabric (exposed for the integration tests).
+    #[must_use]
+    pub fn fabric(&self) -> &LNuca {
+        &self.fabric
+    }
+
+    fn block_key(&self, addr: Addr) -> u64 {
+        addr.block_index(self.l1.config().block_size)
+    }
+
+    /// Installs a block in the root tile, pushing any displaced victim into
+    /// the Replacement network.
+    fn fill_root(&mut self, addr: Addr) {
+        if let Some(victim) = self.l1.fill(addr, false) {
+            // The root tile is write-through, so its victims are clean; the
+            // fabric still receives them to act as a victim cache.
+            self.fabric.evict_from_root(victim.addr, victim.dirty);
+        }
+    }
+
+    /// Completes every request waiting on `addr` with the given attribution.
+    fn complete_waiters(&mut self, addr: Addr, at: Cycle, served_by: ServiceLevel) {
+        let key = self.block_key(addr);
+        let _ = self.l1_mshrs.complete(addr);
+        if let Some(reqs) = self.waiters.remove(&key) {
+            for req in reqs {
+                self.completions
+                    .push_back(MemResponse::for_request(&req, at, served_by));
+            }
+        }
+    }
+}
+
+impl DataMemory for LNucaHierarchy {
+    fn issue(&mut self, req: MemRequest, now: Cycle) -> bool {
+        let addr = req.addr;
+        let is_write = req.kind.is_write();
+
+        // Merge with an in-flight fetch of the same block.
+        if self.l1_mshrs.is_pending(addr) {
+            return match self.l1_mshrs.allocate(addr, req.id) {
+                MshrAllocation::Secondary | MshrAllocation::Primary => {
+                    if is_write {
+                        let _ = self.write_buffer.push(addr);
+                    }
+                    let key = self.block_key(addr);
+                    self.waiters.entry(key).or_default().push(req);
+                    true
+                }
+                MshrAllocation::Full => false,
+            };
+        }
+
+        if !self.l1.probe(addr) && self.l1_mshrs.is_full() {
+            return false;
+        }
+
+        match self.l1.access(addr, is_write, now) {
+            AccessOutcome::Hit { ready_at } => {
+                if is_write {
+                    let _ = self.write_buffer.push(addr);
+                }
+                self.completions
+                    .push_back(MemResponse::for_request(&req, ready_at, ServiceLevel::L1));
+                true
+            }
+            AccessOutcome::Miss { determined_at } => {
+                match self.l1_mshrs.allocate(addr, req.id) {
+                    MshrAllocation::Primary => {}
+                    MshrAllocation::Secondary | MshrAllocation::Full => {
+                        unreachable!("pending and full cases were handled above")
+                    }
+                }
+                if is_write {
+                    let _ = self.write_buffer.push(addr);
+                }
+                let key = self.block_key(addr);
+                self.waiters.entry(key).or_default().push(req);
+                self.pending_searches.push_back(PendingSearch {
+                    addr,
+                    req: req.id,
+                    is_write,
+                    ready_at: determined_at,
+                });
+                true
+            }
+        }
+    }
+
+    fn completions(&mut self, now: Cycle) -> Vec<MemResponse> {
+        let mut ready = Vec::new();
+        let mut waiting = VecDeque::new();
+        while let Some(resp) = self.completions.pop_front() {
+            if resp.completed_at <= now {
+                ready.push(resp);
+            } else {
+                waiting.push_back(resp);
+            }
+        }
+        self.completions = waiting;
+        ready
+    }
+
+    fn tick(&mut self, now: Cycle) {
+        // 1. Advance the fabric.
+        self.fabric.tick(now);
+
+        // 2. Hits coming back through the Transport network.
+        for arrival in self.fabric.pop_arrivals(now) {
+            if arrival.dirty {
+                // The root tile is write-through; the modified data the tile
+                // was holding is pushed toward the outer level.
+                let _ = self.write_buffer.push(arrival.addr);
+            }
+            self.fill_root(arrival.addr);
+            self.complete_waiters(
+                arrival.addr,
+                arrival.available_at,
+                ServiceLevel::LNucaLevel(arrival.hit_level),
+            );
+        }
+
+        // 3. Global misses are forwarded to the outer level.
+        for miss in self.fabric.pop_global_misses(now) {
+            let (completion, served) =
+                self.outer
+                    .fetch(miss.addr, miss.is_write, miss.determined_at, &mut self.memory);
+            self.fill_root(miss.addr);
+            self.complete_waiters(miss.addr, completion, served);
+        }
+
+        // 4. Blocks spilled by the outermost tiles.
+        for spill in self.fabric.pop_spills(now) {
+            if spill.dirty {
+                let _ = self.write_buffer.push(spill.addr);
+            }
+        }
+
+        // 5. Inject at most one pending search per cycle.
+        while let Some(front) = self.pending_searches.front() {
+            if front.ready_at > now {
+                break;
+            }
+            let search = *front;
+            if self
+                .fabric
+                .inject_search(search.addr, search.req, search.is_write, now)
+            {
+                self.pending_searches.pop_front();
+            } else {
+                break;
+            }
+        }
+
+        // 6. Drain one coalesced write toward the outer level.
+        if let Some(addr) = self.write_buffer.drain_one() {
+            self.outer.write_through(addr);
+            self.write_drains += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lnuca_types::ReqId;
+
+    fn lnuca3() -> LNucaHierarchy {
+        LNucaHierarchy::with_l3(&configs::lnuca_hierarchy(3)).unwrap()
+    }
+
+    fn read(id: u64, addr: u64, at: u64) -> MemRequest {
+        MemRequest::read(ReqId(id), Addr(addr), Cycle(at))
+    }
+
+    /// Advances the hierarchy until the response for `id` appears, starting
+    /// from cycle `from`.
+    fn wait_for(h: &mut LNucaHierarchy, id: u64, from: u64) -> MemResponse {
+        for c in from..from + 2_000_000 {
+            h.tick(Cycle(c));
+            for r in h.completions(Cycle(c)) {
+                if r.id == ReqId(id) {
+                    return r;
+                }
+            }
+        }
+        panic!("request {id} never completed");
+    }
+
+    #[test]
+    fn cold_misses_are_served_by_the_outer_level() {
+        let mut h = lnuca3();
+        assert!(h.issue(read(1, 0x40_0000, 0), Cycle(0)));
+        let resp = wait_for(&mut h, 1, 0);
+        assert_eq!(resp.served_by, ServiceLevel::Memory);
+        assert!(resp.latency() > 200);
+        assert_eq!(h.fabric().stats().global_misses, 1);
+    }
+
+    #[test]
+    fn l1_victims_are_recovered_from_the_fabric_not_the_l3() {
+        let mut h = lnuca3();
+        // Load a block, then evict it from the 4-way L1 set with conflicts.
+        assert!(h.issue(read(1, 0x0, 0), Cycle(0)));
+        let _ = wait_for(&mut h, 1, 0);
+        let mut clock = 10_000u64;
+        for i in 0..5u64 {
+            let conflict = 0x8000 * (i + 1);
+            assert!(h.issue(read(10 + i, conflict, clock), Cycle(clock)));
+            let _ = wait_for(&mut h, 10 + i, clock);
+            clock += 2_000;
+        }
+        assert!(!h.l1.probe(Addr(0x0)), "the original block must have been displaced");
+        assert!(h.fabric().contains(Addr(0x0)), "the victim lives in the fabric");
+        assert!(h.issue(read(99, 0x0, clock), Cycle(clock)));
+        let resp = wait_for(&mut h, 99, clock);
+        match resp.served_by {
+            ServiceLevel::LNucaLevel(level) => assert!(level >= 2),
+            other => panic!("expected an L-NUCA hit, got {other}"),
+        }
+        assert!(
+            resp.latency() < 15,
+            "a fabric hit must be far faster than the 20-cycle L3, got {}",
+            resp.latency()
+        );
+        assert!(h.fabric().stats().read_hits() >= 1);
+    }
+
+    #[test]
+    fn fabric_hits_are_faster_than_l3_hits() {
+        // Same reuse pattern under LN3 vs under a conventional hierarchy
+        // with the L2 removed (L3 only): the fabric services the victim
+        // sooner than the 20-cycle L3 would.
+        let mut h = lnuca3();
+        assert!(h.issue(read(1, 0x1234_0000, 0), Cycle(0)));
+        let cold = wait_for(&mut h, 1, 0);
+        assert_eq!(cold.served_by, ServiceLevel::Memory);
+        // Evict it from the root tile.
+        let mut clock = 20_000u64;
+        for i in 0..5u64 {
+            assert!(h.issue(read(10 + i, 0x1234_0000 + 0x8000 * (i + 1), clock), Cycle(clock)));
+            let _ = wait_for(&mut h, 10 + i, clock);
+            clock += 2_000;
+        }
+        assert!(h.issue(read(99, 0x1234_0000, clock), Cycle(clock)));
+        let warm = wait_for(&mut h, 99, clock);
+        assert!(matches!(warm.served_by, ServiceLevel::LNucaLevel(_)));
+        assert!(warm.latency() < 20);
+    }
+
+    #[test]
+    fn secondary_misses_merge_and_complete_together() {
+        let mut h = lnuca3();
+        assert!(h.issue(read(1, 0x9000, 0), Cycle(0)));
+        assert!(h.issue(read(2, 0x9008, 0), Cycle(0)));
+        let mut got = Vec::new();
+        for c in 0..100_000u64 {
+            h.tick(Cycle(c));
+            got.extend(h.completions(Cycle(c)));
+            if got.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].completed_at, got[1].completed_at);
+    }
+
+    #[test]
+    fn mshr_exhaustion_applies_back_pressure() {
+        let mut h = lnuca3();
+        for i in 0..16u64 {
+            assert!(h.issue(read(i, 0x200_0000 + i * 4096, 0), Cycle(0)));
+        }
+        assert!(!h.issue(read(99, 0x500_0000, 0), Cycle(0)));
+    }
+
+    #[test]
+    fn writes_hit_the_root_tile_and_drain_outward() {
+        let mut h = lnuca3();
+        assert!(h.issue(read(1, 0x6000, 0), Cycle(0)));
+        let _ = wait_for(&mut h, 1, 0);
+        let w = MemRequest::write(ReqId(2), Addr(0x6000), Cycle(3_000));
+        assert!(h.issue(w, Cycle(3_000)));
+        let resp = wait_for(&mut h, 2, 3_000);
+        assert_eq!(resp.served_by, ServiceLevel::L1);
+        for c in 3_010..3_200 {
+            h.tick(Cycle(c));
+        }
+        assert!(h.stats().write_drains >= 1);
+    }
+
+    #[test]
+    fn dnuca_backed_variant_builds_and_serves_requests() {
+        let mut h = LNucaHierarchy::with_dnuca(&configs::lnuca_dnuca_hierarchy(2)).unwrap();
+        assert!(h.issue(read(1, 0xCAFE_0000, 0), Cycle(0)));
+        let resp = wait_for(&mut h, 1, 0);
+        assert_eq!(resp.served_by, ServiceLevel::Memory);
+        let stats = h.stats();
+        assert_eq!(stats.label, "LN2 + DN-4x8");
+        assert!(stats.dnuca.is_some());
+        assert!(stats.lnuca.is_some());
+    }
+}

@@ -1,0 +1,105 @@
+//! Memory hierarchies: the four organisations of Fig. 1, all implementing
+//! [`lnuca_cpu::DataMemory`] so the same core model drives every experiment.
+
+mod classic;
+mod lnuca;
+mod outer;
+
+pub use classic::ClassicHierarchy;
+pub use lnuca::LNucaHierarchy;
+pub use outer::OuterLevel;
+
+use lnuca_cpu::DataMemory;
+use lnuca_types::{Cycle, MemRequest, MemResponse};
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of every counter a hierarchy accumulated during a run, in the
+/// shape the experiment and energy code consume.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HierarchyStats {
+    /// Configuration label (e.g. `LN3-144KB`).
+    pub label: String,
+    /// L1 / root-tile counters.
+    pub l1: lnuca_mem::CacheStats,
+    /// L2 counters, if the hierarchy has a conventional L2.
+    pub l2: Option<lnuca_mem::CacheStats>,
+    /// L3 counters, if the hierarchy has an L3.
+    pub l3: Option<lnuca_mem::CacheStats>,
+    /// L-NUCA fabric counters, if the hierarchy has a fabric.
+    pub lnuca: Option<lnuca_core::LNucaStats>,
+    /// Number of L-NUCA tiles (for leakage accounting).
+    pub lnuca_tiles: usize,
+    /// D-NUCA counters, if the hierarchy has a D-NUCA.
+    pub dnuca: Option<lnuca_dnuca::DNucaStats>,
+    /// D-NUCA mesh counters, if the hierarchy has a D-NUCA.
+    pub dnuca_mesh: Option<lnuca_noc::mesh::MeshStats>,
+    /// Number of D-NUCA banks (for leakage accounting).
+    pub dnuca_banks: usize,
+    /// Main-memory block fetches.
+    pub memory_accesses: u64,
+    /// Write-through / write-back traffic drained to the level below the
+    /// L1 (after coalescing in the write buffer).
+    pub write_drains: u64,
+}
+
+impl HierarchyStats {
+    /// Read hits serviced by the second level of this hierarchy — the L2 for
+    /// the conventional baseline, the whole L-NUCA fabric otherwise. This is
+    /// the denominator/numerator pair used by Table III.
+    #[must_use]
+    pub fn second_level_read_hits(&self) -> u64 {
+        if let Some(l2) = &self.l2 {
+            l2.read_hits
+        } else if let Some(lnuca) = &self.lnuca {
+            lnuca.read_hits()
+        } else if let Some(dnuca) = &self.dnuca {
+            dnuca.hits()
+        } else {
+            0
+        }
+    }
+}
+
+/// Any of the four hierarchies, behind one type so [`crate::system::System`]
+/// can drive them uniformly.
+#[derive(Debug)]
+pub enum AnyHierarchy {
+    /// Conventional 3-level or L1 + D-NUCA.
+    Classic(ClassicHierarchy),
+    /// L-NUCA + (L3 or D-NUCA).
+    LNuca(LNucaHierarchy),
+}
+
+impl AnyHierarchy {
+    /// Snapshot of the accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> HierarchyStats {
+        match self {
+            AnyHierarchy::Classic(h) => h.stats(),
+            AnyHierarchy::LNuca(h) => h.stats(),
+        }
+    }
+}
+
+impl DataMemory for AnyHierarchy {
+    fn issue(&mut self, req: MemRequest, now: Cycle) -> bool {
+        match self {
+            AnyHierarchy::Classic(h) => h.issue(req, now),
+            AnyHierarchy::LNuca(h) => h.issue(req, now),
+        }
+    }
+
+    fn completions(&mut self, now: Cycle) -> Vec<MemResponse> {
+        match self {
+            AnyHierarchy::Classic(h) => h.completions(now),
+            AnyHierarchy::LNuca(h) => h.completions(now),
+        }
+    }
+
+    fn tick(&mut self, now: Cycle) {
+        match self {
+            AnyHierarchy::Classic(h) => h.tick(now),
+            AnyHierarchy::LNuca(h) => h.tick(now),
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! The levels below the L1 / L-NUCA: either a conventional L2 + L3, a bare
+//! L3, or a D-NUCA.
+
+use lnuca_dnuca::{DNuca, DNucaOutcome};
+use lnuca_mem::{AccessOutcome, ConventionalCache, MainMemory};
+use lnuca_types::{Addr, Cycle, ServiceLevel};
+
+/// The on-chip hierarchy below the first level.
+///
+/// `OuterLevel` resolves a miss coming from above by chaining accesses
+/// level by level (respecting each level's port occupancy and the memory
+/// channel), filling the traversed levels on the way back and reporting
+/// where the data was found. Write-back traffic from dirty victims is
+/// propagated downward.
+#[derive(Debug)]
+pub enum OuterLevel {
+    /// A conventional L2 backed by an L3 (Fig. 1(a)).
+    L2L3 {
+        /// Second-level cache.
+        l2: ConventionalCache,
+        /// Third-level cache.
+        l3: ConventionalCache,
+    },
+    /// A bare L3 (the level behind an L-NUCA in Fig. 1(b)).
+    L3Only {
+        /// Third-level cache.
+        l3: ConventionalCache,
+    },
+    /// An 8 MB D-NUCA (Figs. 1(c) and 1(d)).
+    DNuca {
+        /// The D-NUCA cache.
+        dnuca: DNuca,
+    },
+}
+
+impl OuterLevel {
+    /// Resolves a miss for the block containing `addr`, starting at `start`.
+    ///
+    /// Returns the cycle at which the block is available to the level above
+    /// and the component that provided it. Levels traversed on a miss are
+    /// filled; dirty victims are written back to the next level (or counted
+    /// as memory writes).
+    pub fn fetch(
+        &mut self,
+        addr: Addr,
+        is_write: bool,
+        start: Cycle,
+        memory: &mut MainMemory,
+    ) -> (Cycle, ServiceLevel) {
+        match self {
+            OuterLevel::L2L3 { l2, l3 } => {
+                // The L2 macro sits across the inter-cache interconnect: the
+                // request pays a transfer delay to reach it and the 64-byte
+                // block pays another to come back (see
+                // `configs::L2_REQUEST_TRANSFER_CYCLES`).
+                let request_at = start + crate::configs::L2_REQUEST_TRANSFER_CYCLES;
+                match l2.access(addr, is_write, request_at) {
+                    AccessOutcome::Hit { ready_at } => (
+                        ready_at + crate::configs::L2_RESPONSE_TRANSFER_CYCLES,
+                        ServiceLevel::L2,
+                    ),
+                    AccessOutcome::Miss { determined_at } => {
+                        let (ready, served) = fetch_l3(l3, addr, determined_at, memory);
+                        // The block is installed in the L2 on its way up.
+                        if let Some(victim) = l2.fill(addr, false) {
+                            if victim.dirty && !l3.mark_dirty(victim.addr) {
+                                l3.fill(victim.addr, true);
+                            }
+                        }
+                        (ready, served)
+                    }
+                }
+            }
+            OuterLevel::L3Only { l3 } => fetch_l3(l3, addr, start, memory),
+            OuterLevel::DNuca { dnuca } => match dnuca.access(addr, is_write, start) {
+                DNucaOutcome::Hit { ready_at, row } => (ready_at, ServiceLevel::DNucaRow(row)),
+                DNucaOutcome::Miss { determined_at } => {
+                    let block = dnuca.config().block_size;
+                    let ready = memory.access(determined_at, block);
+                    // Dirty victims displaced by the fill go back to memory;
+                    // the timing of that write is hidden by the write buffer.
+                    let _ = dnuca.fill(addr, false, ready);
+                    (ready, ServiceLevel::Memory)
+                }
+            },
+        }
+    }
+
+    /// Applies write(-through/-back) traffic arriving from the level above:
+    /// the block is marked dirty where it resides; if it is nowhere on chip
+    /// the write is absorbed by this level's write buffer and eventually
+    /// reaches memory (only the energy accounting sees it).
+    pub fn write_through(&mut self, addr: Addr) {
+        match self {
+            OuterLevel::L2L3 { l2, l3 } => {
+                if !l2.mark_dirty(addr) {
+                    let _ = l3.mark_dirty(addr);
+                }
+            }
+            OuterLevel::L3Only { l3 } => {
+                let _ = l3.mark_dirty(addr);
+            }
+            OuterLevel::DNuca { dnuca } => {
+                let _ = dnuca.mark_dirty(addr);
+            }
+        }
+    }
+
+    /// L2 statistics, if this outer level has an L2.
+    #[must_use]
+    pub fn l2_stats(&self) -> Option<lnuca_mem::CacheStats> {
+        match self {
+            OuterLevel::L2L3 { l2, .. } => Some(*l2.stats()),
+            _ => None,
+        }
+    }
+
+    /// L3 statistics, if this outer level has an L3.
+    #[must_use]
+    pub fn l3_stats(&self) -> Option<lnuca_mem::CacheStats> {
+        match self {
+            OuterLevel::L2L3 { l3, .. } | OuterLevel::L3Only { l3 } => Some(*l3.stats()),
+            OuterLevel::DNuca { .. } => None,
+        }
+    }
+
+    /// D-NUCA statistics, if this outer level is a D-NUCA.
+    #[must_use]
+    pub fn dnuca_stats(&self) -> Option<lnuca_dnuca::DNucaStats> {
+        match self {
+            OuterLevel::DNuca { dnuca } => Some(dnuca.stats().clone()),
+            _ => None,
+        }
+    }
+
+    /// D-NUCA mesh statistics, if this outer level is a D-NUCA.
+    #[must_use]
+    pub fn dnuca_mesh_stats(&self) -> Option<lnuca_noc::mesh::MeshStats> {
+        match self {
+            OuterLevel::DNuca { dnuca } => Some(*dnuca.mesh_stats()),
+            _ => None,
+        }
+    }
+
+    /// Number of D-NUCA banks (0 otherwise), for leakage accounting.
+    #[must_use]
+    pub fn dnuca_banks(&self) -> usize {
+        match self {
+            OuterLevel::DNuca { dnuca } => dnuca.config().rows * dnuca.config().cols,
+            _ => 0,
+        }
+    }
+}
+
+fn fetch_l3(
+    l3: &mut ConventionalCache,
+    addr: Addr,
+    start: Cycle,
+    memory: &mut MainMemory,
+) -> (Cycle, ServiceLevel) {
+    match l3.access(addr, false, start) {
+        AccessOutcome::Hit { ready_at } => (ready_at, ServiceLevel::L3),
+        AccessOutcome::Miss { determined_at } => {
+            let block = l3.config().block_size;
+            let ready = memory.access(determined_at, block);
+            // Fill the L3; its dirty victims go to memory (timing hidden by
+            // the write buffer, only energy sees the write).
+            let _ = l3.fill(addr, false);
+            (ready, ServiceLevel::Memory)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs;
+    use lnuca_dnuca::DNucaConfig;
+    use lnuca_mem::MemoryConfig;
+
+    fn memory() -> MainMemory {
+        MainMemory::new(MemoryConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn l2l3_chain_escalates_until_it_finds_data() {
+        let mut outer = OuterLevel::L2L3 {
+            l2: ConventionalCache::new(configs::paper_l2()).unwrap(),
+            l3: ConventionalCache::new(configs::paper_l3()).unwrap(),
+        };
+        let mut mem = memory();
+        let addr = Addr(0x10_0000);
+        // Cold: comes from memory.
+        let (t1, s1) = outer.fetch(addr, false, Cycle(0), &mut mem);
+        assert_eq!(s1, ServiceLevel::Memory);
+        assert!(t1.0 > 200, "must include the DRAM latency, got {t1}");
+        // Second access: the L2 was filled on the way up.
+        let (t2, s2) = outer.fetch(addr, false, Cycle(1_000), &mut mem);
+        assert_eq!(s2, ServiceLevel::L2);
+        assert_eq!(
+            t2.since(Cycle(1_000)),
+            4 + crate::configs::L2_REQUEST_TRANSFER_CYCLES
+                + crate::configs::L2_RESPONSE_TRANSFER_CYCLES,
+            "an L2 hit pays the interconnect transfers plus the 4-cycle completion"
+        );
+    }
+
+    #[test]
+    fn l3_only_serves_from_l3_after_a_fill() {
+        let mut outer = OuterLevel::L3Only {
+            l3: ConventionalCache::new(configs::paper_l3()).unwrap(),
+        };
+        let mut mem = memory();
+        let addr = Addr(0xAB_0000);
+        let (_, s1) = outer.fetch(addr, false, Cycle(0), &mut mem);
+        assert_eq!(s1, ServiceLevel::Memory);
+        let (t2, s2) = outer.fetch(addr, false, Cycle(5_000), &mut mem);
+        assert_eq!(s2, ServiceLevel::L3);
+        assert_eq!(t2.since(Cycle(5_000)), 20);
+    }
+
+    #[test]
+    fn dnuca_outer_reports_row_attribution() {
+        let mut outer = OuterLevel::DNuca {
+            dnuca: DNuca::new(DNucaConfig::paper()).unwrap(),
+        };
+        let mut mem = memory();
+        let addr = Addr(0x77_0000);
+        let (_, s1) = outer.fetch(addr, false, Cycle(0), &mut mem);
+        assert_eq!(s1, ServiceLevel::Memory);
+        let (_, s2) = outer.fetch(addr, false, Cycle(10_000), &mut mem);
+        match s2 {
+            ServiceLevel::DNucaRow(row) => assert_eq!(row, 3, "fills land in the farthest row"),
+            other => panic!("expected a D-NUCA hit, got {other}"),
+        }
+        assert_eq!(outer.dnuca_banks(), 32);
+    }
+
+    #[test]
+    fn write_through_marks_resident_blocks_dirty() {
+        let mut outer = OuterLevel::L2L3 {
+            l2: ConventionalCache::new(configs::paper_l2()).unwrap(),
+            l3: ConventionalCache::new(configs::paper_l3()).unwrap(),
+        };
+        let mut mem = memory();
+        let addr = Addr(0x20_0000);
+        outer.fetch(addr, false, Cycle(0), &mut mem);
+        outer.write_through(addr);
+        let l2 = match &outer {
+            OuterLevel::L2L3 { l2, .. } => l2,
+            _ => unreachable!(),
+        };
+        assert!(l2.probe(addr));
+    }
+}

@@ -1,0 +1,47 @@
+//! Full-system simulation and experiment harness for the Light NUCA paper.
+//!
+//! This crate glues every substrate together: the out-of-order core
+//! (`lnuca-cpu`), the conventional caches and DRAM (`lnuca-mem`), the L-NUCA
+//! fabric (`lnuca-core`), the D-NUCA baseline (`lnuca-dnuca`), the synthetic
+//! workloads (`lnuca-workloads`) and the energy/area models (`lnuca-energy`).
+//! It provides:
+//!
+//! * [`configs`] — the paper's four hierarchy configurations (Fig. 1) with
+//!   all Table I parameters as defaults,
+//! * [`hierarchy`] — [`ClassicHierarchy`] (conventional 3-level and
+//!   L1 + D-NUCA) and [`LNucaHierarchy`] (L-NUCA + L3 and
+//!   L-NUCA + D-NUCA), both implementing [`lnuca_cpu::DataMemory`],
+//! * [`system`] — a [`System`] = core + hierarchy, runnable for a given
+//!   instruction budget,
+//! * [`energy_model`] — turns run statistics into the stacked-bar energy
+//!   accounts of Figs. 4(b) and 5(b),
+//! * [`experiments`] — one entry point per paper table/figure,
+//! * [`report`] — plain-text table formatting shared by the bench binaries.
+//!
+//! # Example
+//!
+//! ```
+//! use lnuca_sim::configs::{self, HierarchyKind};
+//! use lnuca_sim::system::System;
+//! use lnuca_workloads::suites;
+//!
+//! let profile = suites::spec_int_like()[0].clone();
+//! let config = configs::lnuca_hierarchy(2);
+//! let result = System::run_workload(&HierarchyKind::LNucaL3(config), &profile, 20_000, 1)?;
+//! assert!(result.ipc > 0.0);
+//! # Ok::<(), lnuca_types::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod configs;
+pub mod energy_model;
+pub mod experiments;
+pub mod hierarchy;
+pub mod report;
+pub mod system;
+
+pub use configs::HierarchyKind;
+pub use hierarchy::{ClassicHierarchy, HierarchyStats, LNucaHierarchy};
+pub use system::{RunResult, System};

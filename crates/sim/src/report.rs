@@ -1,0 +1,96 @@
+//! Plain-text table formatting shared by the experiment binaries.
+
+/// Formats a fixed-width text table with a header row, a separator and one
+/// line per data row. Columns are sized to their widest cell.
+///
+/// # Example
+///
+/// ```
+/// use lnuca_sim::report::format_table;
+///
+/// let table = format_table(
+///     &["config", "IPC"],
+///     &[vec!["L2-256KB".to_owned(), "1.02".to_owned()]],
+/// );
+/// assert!(table.contains("L2-256KB"));
+/// assert!(table.lines().count() >= 3);
+/// ```
+#[must_use]
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let columns = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(columns) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+
+    let mut out = String::new();
+    let format_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:<width$}", width = widths[i]));
+        }
+        line.trim_end().to_owned()
+    };
+
+    let header_cells: Vec<String> = headers.iter().map(|h| (*h).to_owned()).collect();
+    out.push_str(&format_row(&header_cells, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (columns.saturating_sub(1));
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a ratio as a signed percentage change (`+6.1%`, `-5.3%`).
+#[must_use]
+pub fn percent_change(new: f64, baseline: f64) -> String {
+    if baseline == 0.0 {
+        return "n/a".to_owned();
+    }
+    let change = (new / baseline - 1.0) * 100.0;
+    format!("{change:+.1}%")
+}
+
+/// Formats a fraction (0.0–1.0+) as a percentage with one decimal.
+#[must_use]
+pub fn percent(value: f64) -> String {
+    format!("{:.1}%", value * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned_and_complete() {
+        let t = format_table(
+            &["name", "value"],
+            &[
+                vec!["a".to_owned(), "1".to_owned()],
+                vec!["long-name".to_owned(), "2.345".to_owned()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[3].starts_with("long-name"));
+    }
+
+    #[test]
+    fn percent_helpers() {
+        assert_eq!(percent_change(1.061, 1.0), "+6.1%");
+        assert_eq!(percent_change(0.947, 1.0), "-5.3%");
+        assert_eq!(percent_change(1.0, 0.0), "n/a");
+        assert_eq!(percent(0.596), "59.6%");
+    }
+}

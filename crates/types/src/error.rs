@@ -1,0 +1,83 @@
+//! Configuration validation errors shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid configuration was supplied to a constructor.
+///
+/// Every constructor in the workspace that accepts a configuration struct
+/// validates it and reports problems through this type rather than panicking,
+/// so callers can surface actionable messages (which parameter, which value,
+/// what the constraint is).
+///
+/// # Example
+///
+/// ```
+/// use lnuca_types::ConfigError;
+///
+/// let err = ConfigError::new("tile_size_bytes", "must be a power of two, got 3000");
+/// assert_eq!(err.parameter(), "tile_size_bytes");
+/// assert!(err.to_string().contains("power of two"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    parameter: String,
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates a new error for `parameter` with a human-readable `message`
+    /// describing the violated constraint.
+    pub fn new(parameter: impl Into<String>, message: impl Into<String>) -> Self {
+        ConfigError {
+            parameter: parameter.into(),
+            message: message.into(),
+        }
+    }
+
+    /// The name of the offending configuration parameter.
+    #[must_use]
+    pub fn parameter(&self) -> &str {
+        &self.parameter
+    }
+
+    /// The constraint that was violated.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration `{}`: {}", self.parameter, self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_parameter_and_message() {
+        let e = ConfigError::new("levels", "must be between 2 and 8");
+        let s = e.to_string();
+        assert!(s.contains("levels"));
+        assert!(s.contains("between 2 and 8"));
+    }
+
+    #[test]
+    fn accessors_return_fields() {
+        let e = ConfigError::new("ways", "must be nonzero");
+        assert_eq!(e.parameter(), "ways");
+        assert_eq!(e.message(), "must be nonzero");
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<ConfigError>();
+    }
+}

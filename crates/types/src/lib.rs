@@ -1,0 +1,34 @@
+//! Shared primitive types for the Light NUCA (DATE 2009) reproduction.
+//!
+//! This crate holds the vocabulary every other crate in the workspace speaks:
+//! byte [`Addr`]esses, simulation [`Cycle`]s, memory [`MemRequest`]s and
+//! [`MemResponse`]s, the [`ServiceLevel`] enumeration used to attribute hits
+//! to hierarchy levels, simple statistics helpers ([`stats`]) and the common
+//! [`ConfigError`] type returned by constructors that validate their
+//! configuration.
+//!
+//! # Example
+//!
+//! ```
+//! use lnuca_types::{Addr, Cycle, AccessKind, MemRequest, ReqId};
+//!
+//! let req = MemRequest::new(ReqId(1), Addr(0x1_0040), AccessKind::Read, Cycle(10));
+//! assert_eq!(req.addr.block_index(32), 0x802);
+//! assert!(req.kind.is_read());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod cycle;
+pub mod error;
+pub mod request;
+pub mod size;
+pub mod stats;
+
+pub use addr::Addr;
+pub use cycle::Cycle;
+pub use error::ConfigError;
+pub use request::{AccessKind, MemRequest, MemResponse, ReqId, ServiceLevel};
+pub use size::ByteSize;

@@ -1,0 +1,322 @@
+//! Deterministic synthetic trace generation.
+
+use crate::instr::{Instr, InstrKind};
+use crate::profile::WorkloadProfile;
+use lnuca_types::Addr;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Block size (bytes) used by the address generators. Matches the L1 /
+/// L-NUCA block size so one "block" of the reuse model is one L1 block.
+pub const TRACE_BLOCK_BYTES: u64 = 32;
+
+/// Base virtual addresses of the four regions, spaced far apart so that the
+/// regions never alias in any of the caches under study.
+const HOT_BASE: u64 = 0x0000_1000_0000;
+const WARM_BASE: u64 = 0x0000_2000_0000;
+const COLD_BASE: u64 = 0x0000_4000_0000;
+const STREAM_BASE: u64 = 0x0001_0000_0000;
+
+/// A seeded, infinite iterator of synthetic instructions following a
+/// [`WorkloadProfile`].
+///
+/// The generator is deterministic: the same profile and seed always produce
+/// the same trace, which keeps every experiment in the repository
+/// reproducible.
+///
+/// # Example
+///
+/// ```
+/// use lnuca_workloads::{TraceGenerator, WorkloadProfile};
+///
+/// let profile = WorkloadProfile::default();
+/// let a: Vec<_> = TraceGenerator::new(profile.clone(), 7).take(100).collect();
+/// let b: Vec<_> = TraceGenerator::new(profile, 7).take(100).collect();
+/// assert_eq!(a, b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    profile: WorkloadProfile,
+    rng: SmallRng,
+    /// Byte address of the previous memory access (for spatial strides).
+    last_addr: u64,
+    /// Current position of the streaming walker.
+    stream_cursor: u64,
+    /// Per-static-branch bias direction (true = usually taken).
+    branch_directions: Vec<bool>,
+    generated: u64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `profile` seeded with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails validation; construct profiles through
+    /// [`WorkloadProfile::validate`]-checked paths (the built-in suites are
+    /// always valid).
+    #[must_use]
+    pub fn new(profile: WorkloadProfile, seed: u64) -> Self {
+        profile
+            .validate()
+            .expect("trace generator requires a valid workload profile");
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED_CAFE_F00D_u64);
+        let branch_directions = (0..profile.static_branches)
+            .map(|_| rng.gen_bool(0.5))
+            .collect();
+        TraceGenerator {
+            last_addr: HOT_BASE,
+            stream_cursor: 0,
+            branch_directions,
+            profile,
+            rng,
+            generated: 0,
+        }
+    }
+
+    /// The profile driving this generator.
+    #[must_use]
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    /// Number of instructions generated so far.
+    #[must_use]
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    fn next_memory_addr(&mut self) -> Addr {
+        let p = &self.profile;
+        // Spatial locality: continue the previous access one word (8 bytes)
+        // further, so several consecutive accesses land in the same cache
+        // block before the walk crosses into the next one — the behaviour of
+        // array traversals and line-filling loops.
+        if self.rng.gen_bool(p.spatial_stride_prob) {
+            self.last_addr += 8;
+            return Addr(self.last_addr);
+        }
+        let region = self.rng.gen::<f64>();
+        let block = if region < p.hot_prob {
+            HOT_BASE / TRACE_BLOCK_BYTES + self.rng.gen_range(0..p.hot_blocks)
+        } else if region < p.hot_prob + p.warm_prob {
+            WARM_BASE / TRACE_BLOCK_BYTES + self.rng.gen_range(0..p.warm_blocks)
+        } else if region < p.hot_prob + p.warm_prob + p.cold_prob {
+            COLD_BASE / TRACE_BLOCK_BYTES + self.rng.gen_range(0..p.cold_blocks)
+        } else {
+            // Streaming walker: strictly sequential over a huge footprint.
+            self.stream_cursor = (self.stream_cursor + 1) % p.stream_blocks;
+            STREAM_BASE / TRACE_BLOCK_BYTES + self.stream_cursor
+        };
+        self.last_addr = block * TRACE_BLOCK_BYTES;
+        Addr(self.last_addr)
+    }
+
+    fn next_dep_distance(&mut self) -> u32 {
+        // Geometric-like distribution with the configured mean: short
+        // dependency chains are common, long ones rare.
+        let mean = self.profile.mean_dep_distance;
+        let u: f64 = self.rng.gen_range(1e-9..1.0);
+        let d = (-u.ln() * mean).ceil();
+        d.clamp(1.0, 64.0) as u32
+    }
+
+    fn next_branch(&mut self) -> InstrKind {
+        let pc = self.rng.gen_range(0..self.profile.static_branches);
+        let bias = self.branch_directions[pc as usize];
+        let follows_bias = self.rng.gen_bool(self.profile.branch_bias);
+        InstrKind::Branch {
+            pc,
+            taken: if follows_bias { bias } else { !bias },
+        }
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = Instr;
+
+    fn next(&mut self) -> Option<Instr> {
+        let p = &self.profile;
+        let class = self.rng.gen::<f64>();
+        let load_cut = p.load_fraction;
+        let store_cut = load_cut + p.store_fraction;
+        let branch_cut = store_cut + p.branch_fraction;
+        let fp_fraction = p.fp_fraction;
+
+        let instr = if class < load_cut {
+            Instr {
+                kind: InstrKind::Load,
+                addr: Some(self.next_memory_addr()),
+                dep_distance: self.next_dep_distance(),
+            }
+        } else if class < store_cut {
+            Instr {
+                kind: InstrKind::Store,
+                addr: Some(self.next_memory_addr()),
+                dep_distance: self.next_dep_distance(),
+            }
+        } else if class < branch_cut {
+            Instr {
+                kind: self.next_branch(),
+                addr: None,
+                dep_distance: self.next_dep_distance(),
+            }
+        } else {
+            let kind = if self.rng.gen_bool(fp_fraction) {
+                InstrKind::FpAlu
+            } else {
+                InstrKind::IntAlu
+            };
+            Instr {
+                kind,
+                addr: None,
+                dep_distance: self.next_dep_distance(),
+            }
+        };
+        self.generated += 1;
+        Some(instr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Suite;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    fn sample(profile: WorkloadProfile, n: usize, seed: u64) -> Vec<Instr> {
+        TraceGenerator::new(profile, seed).take(n).collect()
+    }
+
+    #[test]
+    fn traces_are_reproducible_and_seed_sensitive() {
+        let p = WorkloadProfile::default();
+        assert_eq!(sample(p.clone(), 500, 1), sample(p.clone(), 500, 1));
+        assert_ne!(sample(p.clone(), 500, 1), sample(p, 500, 2));
+    }
+
+    #[test]
+    fn instruction_mix_approximates_the_profile() {
+        let p = WorkloadProfile::default();
+        let n = 200_000;
+        let trace = sample(p.clone(), n, 3);
+        let loads = trace.iter().filter(|i| i.kind.is_load()).count() as f64 / n as f64;
+        let stores = trace.iter().filter(|i| i.kind.is_store()).count() as f64 / n as f64;
+        let branches = trace.iter().filter(|i| i.kind.is_branch()).count() as f64 / n as f64;
+        assert!((loads - p.load_fraction).abs() < 0.01, "load fraction {loads}");
+        assert!((stores - p.store_fraction).abs() < 0.01, "store fraction {stores}");
+        assert!((branches - p.branch_fraction).abs() < 0.01, "branch fraction {branches}");
+    }
+
+    #[test]
+    fn memory_instructions_carry_addresses_and_others_do_not() {
+        let trace = sample(WorkloadProfile::default(), 5_000, 11);
+        for i in &trace {
+            assert_eq!(i.addr.is_some(), i.kind.is_memory());
+        }
+    }
+
+    #[test]
+    fn footprint_respects_region_sizes() {
+        let p = WorkloadProfile {
+            hot_blocks: 16,
+            warm_blocks: 64,
+            cold_blocks: 128,
+            stream_blocks: 256,
+            spatial_stride_prob: 0.0,
+            ..WorkloadProfile::default()
+        };
+        let trace = sample(p, 50_000, 5);
+        let blocks: HashSet<u64> = trace
+            .iter()
+            .filter_map(|i| i.addr)
+            .map(|a| a.block_index(TRACE_BLOCK_BYTES))
+            .collect();
+        // Every touched block belongs to one of the four regions.
+        for b in blocks {
+            let addr = b * TRACE_BLOCK_BYTES;
+            let in_hot = (HOT_BASE..HOT_BASE + 16 * TRACE_BLOCK_BYTES).contains(&addr);
+            let in_warm = (WARM_BASE..WARM_BASE + 64 * TRACE_BLOCK_BYTES).contains(&addr);
+            let in_cold = (COLD_BASE..COLD_BASE + 128 * TRACE_BLOCK_BYTES).contains(&addr);
+            let in_stream = (STREAM_BASE..STREAM_BASE + 256 * TRACE_BLOCK_BYTES).contains(&addr);
+            assert!(in_hot || in_warm || in_cold || in_stream, "stray address {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn branch_outcomes_follow_the_bias() {
+        let p = WorkloadProfile {
+            branch_bias: 0.95,
+            branch_fraction: 0.5,
+            load_fraction: 0.2,
+            store_fraction: 0.1,
+            static_branches: 8,
+            ..WorkloadProfile::default()
+        };
+        let trace = sample(p, 100_000, 9);
+        // For each static branch, the majority outcome should appear ~95% of
+        // the time.
+        let mut per_pc: std::collections::HashMap<u64, (u64, u64)> = Default::default();
+        for i in &trace {
+            if let InstrKind::Branch { pc, taken } = i.kind {
+                let e = per_pc.entry(pc).or_default();
+                if taken {
+                    e.0 += 1;
+                } else {
+                    e.1 += 1;
+                }
+            }
+        }
+        for (&pc, &(taken, not_taken)) in &per_pc {
+            let total = taken + not_taken;
+            let majority = taken.max(not_taken) as f64 / total as f64;
+            assert!(majority > 0.90, "branch {pc} majority share {majority}");
+        }
+    }
+
+    #[test]
+    fn dependency_distances_are_positive_and_mean_tracks_profile() {
+        let p = WorkloadProfile {
+            mean_dep_distance: 12.0,
+            ..WorkloadProfile::default()
+        };
+        let trace = sample(p, 50_000, 21);
+        let mean: f64 =
+            trace.iter().map(|i| f64::from(i.dep_distance)).sum::<f64>() / trace.len() as f64;
+        assert!(trace.iter().all(|i| i.dep_distance >= 1));
+        assert!((mean - 12.0).abs() < 2.0, "observed mean dependency distance {mean}");
+    }
+
+    #[test]
+    fn fp_profiles_emit_fp_operations() {
+        let p = WorkloadProfile {
+            suite: Suite::FloatingPoint,
+            fp_fraction: 0.8,
+            ..WorkloadProfile::default()
+        };
+        let trace = sample(p, 20_000, 2);
+        let fp = trace.iter().filter(|i| i.kind.is_fp()).count();
+        let alu = trace
+            .iter()
+            .filter(|i| !i.kind.is_memory() && !i.kind.is_branch())
+            .count();
+        assert!(fp as f64 / alu as f64 > 0.7);
+    }
+
+    proptest! {
+        #[test]
+        fn generator_never_panics_and_respects_mix(seed in any::<u64>(), take in 100usize..2000) {
+            let trace = sample(WorkloadProfile::default(), take, seed);
+            prop_assert_eq!(trace.len(), take);
+            for i in &trace {
+                prop_assert_eq!(i.addr.is_some(), i.kind.is_memory());
+                if i.kind.is_memory() {
+                    // Addresses always land inside one of the four regions
+                    // (strides only advance by a word at a time).
+                    prop_assert!(i.addr.unwrap().0 >= HOT_BASE);
+                }
+            }
+        }
+    }
+}

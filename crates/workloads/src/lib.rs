@@ -1,0 +1,39 @@
+//! Synthetic workload generation for the Light NUCA reproduction.
+//!
+//! The paper evaluates L-NUCA with SPEC CPU2006 (100 M-instruction SimPoint
+//! regions). SPEC binaries and traces are proprietary, so this crate provides
+//! the substitution documented in `DESIGN.md`: parameterised, deterministic
+//! instruction-trace generators whose *memory reuse behaviour* — how much of
+//! the working set fits at each level of the hierarchy — and *control/ILP
+//! behaviour* — branch fraction and predictability, dependency distances —
+//! reproduce the property classes the paper's evaluation depends on.
+//!
+//! * [`Instr`] / [`InstrKind`] — the trace element consumed by `lnuca-cpu`,
+//! * [`WorkloadProfile`] — the knobs of one synthetic benchmark,
+//! * [`TraceGenerator`] — a seeded iterator of instructions,
+//! * [`suites`] — the INT-like and FP-like benchmark suites used by every
+//!   experiment (Figs. 4 and 5, Table III).
+//!
+//! # Example
+//!
+//! ```
+//! use lnuca_workloads::{suites, TraceGenerator};
+//!
+//! let profile = &suites::spec_int_like()[0];
+//! let trace: Vec<_> = TraceGenerator::new(profile.clone(), 42).take(1000).collect();
+//! assert_eq!(trace.len(), 1000);
+//! let loads = trace.iter().filter(|i| i.kind.is_load()).count();
+//! assert!(loads > 100, "an INT-like profile issues plenty of loads");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod instr;
+pub mod profile;
+pub mod suites;
+
+pub use generator::TraceGenerator;
+pub use instr::{Instr, InstrKind};
+pub use profile::{Suite, WorkloadProfile};

@@ -1,0 +1,212 @@
+//! Workload profiles: the knobs of one synthetic benchmark.
+
+use lnuca_types::ConfigError;
+use serde::{Deserialize, Serialize};
+
+/// Which SPEC-like suite a profile belongs to. The paper reports Integer and
+/// Floating-Point results separately (harmonic means per suite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Suite {
+    /// Integer-code behaviour class (pointer chasing, branchy control flow,
+    /// small-to-medium working sets).
+    Integer,
+    /// Floating-point behaviour class (streaming loops, large working sets,
+    /// predictable branches, higher FP-op density).
+    FloatingPoint,
+}
+
+impl Suite {
+    /// Short label used in reports ("Int." / "FP.").
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Suite::Integer => "Int.",
+            Suite::FloatingPoint => "FP.",
+        }
+    }
+}
+
+/// The parameters of one synthetic benchmark.
+///
+/// Memory behaviour is controlled by a three-region reuse model plus a
+/// streaming walker:
+///
+/// * a **hot** region that mostly fits in the L1 / root tile,
+/// * a **warm** region sized like the L2/L-NUCA capacity range — this is the
+///   region whose service latency the paper's proposal improves,
+/// * a **cold** region sized like the L3,
+/// * a **streaming** footprint larger than the L3 that always misses on chip.
+///
+/// Each memory access picks a region with the configured probability and a
+/// block within it; with probability `spatial_stride_prob` it instead
+/// continues sequentially from the previous access (spatial locality).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Benchmark name used in reports.
+    pub name: String,
+    /// Which suite the benchmark belongs to.
+    pub suite: Suite,
+    /// Fraction of instructions that are loads.
+    pub load_fraction: f64,
+    /// Fraction of instructions that are stores.
+    pub store_fraction: f64,
+    /// Fraction of instructions that are conditional branches.
+    pub branch_fraction: f64,
+    /// Fraction of the remaining (ALU) instructions that are floating point.
+    pub fp_fraction: f64,
+    /// Number of 32-byte blocks in the hot region.
+    pub hot_blocks: u64,
+    /// Number of 32-byte blocks in the warm region.
+    pub warm_blocks: u64,
+    /// Number of 32-byte blocks in the cold region.
+    pub cold_blocks: u64,
+    /// Number of 32-byte blocks in the streaming footprint.
+    pub stream_blocks: u64,
+    /// Probability that a memory access targets the hot region.
+    pub hot_prob: f64,
+    /// Probability that a memory access targets the warm region.
+    pub warm_prob: f64,
+    /// Probability that a memory access targets the cold region.
+    pub cold_prob: f64,
+    /// Probability that a memory access continues sequentially from the
+    /// previous one instead of sampling a region.
+    pub spatial_stride_prob: f64,
+    /// Mean register-dependency distance (larger = more ILP).
+    pub mean_dep_distance: f64,
+    /// Probability that a branch follows its per-branch bias (higher =
+    /// easier to predict).
+    pub branch_bias: f64,
+    /// Number of static branches in the synthetic program.
+    pub static_branches: u64,
+}
+
+impl WorkloadProfile {
+    /// Validates the profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if fractions/probabilities are outside
+    /// `[0, 1]`, their sums exceed 1, or any region is empty.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let frac_sum = self.load_fraction + self.store_fraction + self.branch_fraction;
+        for (name, v) in [
+            ("load_fraction", self.load_fraction),
+            ("store_fraction", self.store_fraction),
+            ("branch_fraction", self.branch_fraction),
+            ("fp_fraction", self.fp_fraction),
+            ("hot_prob", self.hot_prob),
+            ("warm_prob", self.warm_prob),
+            ("cold_prob", self.cold_prob),
+            ("spatial_stride_prob", self.spatial_stride_prob),
+            ("branch_bias", self.branch_bias),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(ConfigError::new(name, format!("must be in [0, 1], got {v}")));
+            }
+        }
+        if frac_sum > 1.0 + 1e-9 {
+            return Err(ConfigError::new(
+                "load/store/branch fractions",
+                format!("must sum to at most 1, got {frac_sum}"),
+            ));
+        }
+        if self.hot_prob + self.warm_prob + self.cold_prob > 1.0 + 1e-9 {
+            return Err(ConfigError::new(
+                "hot/warm/cold probabilities",
+                "must sum to at most 1 (the remainder goes to the streaming walker)",
+            ));
+        }
+        for (name, v) in [
+            ("hot_blocks", self.hot_blocks),
+            ("warm_blocks", self.warm_blocks),
+            ("cold_blocks", self.cold_blocks),
+            ("stream_blocks", self.stream_blocks),
+            ("static_branches", self.static_branches),
+        ] {
+            if v == 0 {
+                return Err(ConfigError::new(name, "must be nonzero"));
+            }
+        }
+        if self.mean_dep_distance < 1.0 {
+            return Err(ConfigError::new(
+                "mean_dep_distance",
+                format!("must be at least 1, got {}", self.mean_dep_distance),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Fraction of instructions that access memory.
+    #[must_use]
+    pub fn memory_fraction(&self) -> f64 {
+        self.load_fraction + self.store_fraction
+    }
+
+    /// Total data footprint of the benchmark in bytes (32-byte blocks).
+    #[must_use]
+    pub fn footprint_bytes(&self) -> u64 {
+        (self.hot_blocks + self.warm_blocks + self.cold_blocks + self.stream_blocks) * 32
+    }
+}
+
+impl Default for WorkloadProfile {
+    /// A balanced integer-like default profile.
+    fn default() -> Self {
+        WorkloadProfile {
+            name: "default".to_owned(),
+            suite: Suite::Integer,
+            load_fraction: 0.25,
+            store_fraction: 0.10,
+            branch_fraction: 0.18,
+            fp_fraction: 0.05,
+            hot_blocks: 512,
+            warm_blocks: 4_096,
+            cold_blocks: 131_072,
+            stream_blocks: 4_000_000,
+            hot_prob: 0.55,
+            warm_prob: 0.33,
+            cold_prob: 0.09,
+            spatial_stride_prob: 0.35,
+            mean_dep_distance: 6.0,
+            branch_bias: 0.92,
+            static_branches: 2_048,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_profile_is_valid() {
+        assert!(WorkloadProfile::default().validate().is_ok());
+    }
+
+    #[test]
+    fn suite_labels() {
+        assert_eq!(Suite::Integer.label(), "Int.");
+        assert_eq!(Suite::FloatingPoint.label(), "FP.");
+    }
+
+    #[test]
+    fn validation_rejects_bad_fields() {
+        let base = WorkloadProfile::default();
+        assert!(WorkloadProfile { load_fraction: 1.5, ..base.clone() }.validate().is_err());
+        assert!(WorkloadProfile { load_fraction: 0.6, store_fraction: 0.6, ..base.clone() }.validate().is_err());
+        assert!(WorkloadProfile { hot_prob: 0.7, warm_prob: 0.6, ..base.clone() }.validate().is_err());
+        assert!(WorkloadProfile { hot_blocks: 0, ..base.clone() }.validate().is_err());
+        assert!(WorkloadProfile { mean_dep_distance: 0.5, ..base.clone() }.validate().is_err());
+        assert!(WorkloadProfile { branch_bias: -0.1, ..base }.validate().is_err());
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let p = WorkloadProfile::default();
+        assert!((p.memory_fraction() - 0.35).abs() < 1e-12);
+        assert_eq!(
+            p.footprint_bytes(),
+            (512 + 4_096 + 131_072 + 4_000_000) * 32
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: build the paper's 3-level L-NUCA hierarchy, run one synthetic
+//! benchmark on it and on the conventional baseline, and print what the
+//! fabric did.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use lnuca_suite::sim::configs::{self, HierarchyKind};
+use lnuca_suite::sim::system::System;
+use lnuca_suite::workloads::suites;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let instructions = 100_000;
+    let profile = suites::by_name("int.compress").expect("built-in profile exists");
+
+    println!("workload: {} ({} instructions)\n", profile.name, instructions);
+
+    // The paper's baseline: 32 KB L1 + 256 KB L2 + 8 MB L3.
+    let baseline = HierarchyKind::Conventional(configs::conventional());
+    let base = System::run_workload(&baseline, &profile, instructions, 42)?;
+
+    // The paper's proposal: replace the L2 with a 3-level, 144 KB L-NUCA.
+    let lnuca = HierarchyKind::LNucaL3(configs::lnuca_hierarchy(3));
+    let ln = System::run_workload(&lnuca, &profile, instructions, 42)?;
+
+    println!("{:<12} IPC {:.3}   cycles {:>9}", base.label, base.ipc, base.cycles);
+    println!("{:<12} IPC {:.3}   cycles {:>9}", ln.label, ln.ipc, ln.cycles);
+    println!(
+        "\nIPC change: {:+.1}%   energy change: {:+.1}%",
+        (ln.ipc / base.ipc - 1.0) * 100.0,
+        (ln.energy.total_pj() / base.energy.total_pj() - 1.0) * 100.0
+    );
+
+    let fabric = ln.hierarchy.lnuca.as_ref().expect("the L-NUCA hierarchy has a fabric");
+    println!("\nL-NUCA fabric activity:");
+    println!("  searches injected        {:>9}", fabric.searches);
+    for (i, hits) in fabric.read_hits_per_level.iter().enumerate() {
+        println!("  read hits in Le{}         {:>9}", i + 2, hits);
+    }
+    println!("  global misses            {:>9}", fabric.global_misses);
+    println!("  blocks spilled to the L3 {:>9}", fabric.spills);
+    println!(
+        "  avg/min transport latency {:>8.3}",
+        fabric.transport_latency_ratio()
+    );
+    Ok(())
+}

@@ -1,0 +1,270 @@
+//! Offline shim for the subset of the
+//! [proptest](https://docs.rs/proptest/1) API this workspace uses.
+//!
+//! The build container has no network access, so the real crate cannot be
+//! fetched. This shim keeps the property tests running as *randomized* tests:
+//! each `proptest!` function draws [`CASES`] deterministic pseudo-random
+//! inputs from its strategies and runs the body on each. What it does **not**
+//! do is shrink failing inputs or persist failure seeds — a failure report
+//! shows the panic from the raw (unshrunk) case. The seed is fixed, so a
+//! failure reproduces on every run.
+//!
+//! Supported surface: `proptest! { #[test] fn f(x in strategy, ..) { .. } }`,
+//! [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assert_ne!`], [`any`],
+//! integer/float range strategies, tuple strategies, and
+//! [`collection::vec`].
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SampleRange, SampleStandard};
+use std::ops::{Range, RangeInclusive};
+
+/// Cases drawn per property (the real crate's default is 256).
+pub const CASES: u32 = 256;
+
+/// Fixed seed: property tests are deterministic across runs and machines.
+pub const SEED: u64 = 0x1C0_FFEE_D00D;
+
+/// A source of values of one type; the shim generates, it never shrinks.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: Clone,
+    Range<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: Clone,
+    RangeInclusive<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Uniform draw over the whole domain of `T`.
+pub fn any<T: SampleStandard>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: SampleStandard> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        rng.gen()
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+pub struct JustStrategy<T: Clone>(pub T);
+
+/// Mirrors `proptest::strategy::Just`.
+#[allow(non_snake_case)]
+pub fn Just<T: Clone>(value: T) -> JustStrategy<T> {
+    JustStrategy(value)
+}
+
+impl<T: Clone> Strategy for JustStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+}
+
+pub mod collection {
+    //! Strategies for collections (only `vec` is provided).
+
+    use super::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a length drawn from `len`, elements from
+    /// `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Mirrors `proptest::collection::vec(element, size_range)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Strategies drawing from explicit value lists (only `select`).
+
+    use super::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Strategy returned by [`select`].
+    pub struct Select<T: Clone> {
+        values: Vec<T>,
+    }
+
+    /// Mirrors `proptest::sample::select`: uniform over `values`.
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select: empty choice list");
+        Select { values }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            self.values[rng.gen_range(0..self.values.len())].clone()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Per-property bookkeeping used by the expansion of [`proptest!`](crate::proptest).
+
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Drives one property: holds the RNG and the case budget.
+    pub struct TestRunner {
+        /// Deterministically seeded generator shared by all strategies.
+        pub rng: SmallRng,
+        /// Number of cases to draw.
+        pub cases: u32,
+    }
+
+    impl Default for TestRunner {
+        fn default() -> Self {
+            TestRunner {
+                rng: SmallRng::seed_from_u64(crate::SEED),
+                cases: crate::CASES,
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude::*`.
+
+    pub use crate as prop;
+    pub use crate::collection;
+    pub use crate::{any, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Shim of `proptest::proptest!`: each listed function becomes a `#[test]`
+/// that redraws its arguments [`CASES`] times and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::default();
+            for _case in 0..runner.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut runner.rng);)+
+                $body
+            }
+        }
+    )+};
+}
+
+/// Shim of `prop_assert!` — panics instead of returning a `TestCaseError`,
+/// which in a non-shrinking runner amounts to the same failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Shim of `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Shim of `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples_stay_in_bounds(
+            x in 3u32..10,
+            pair in (0usize..12, 0usize..12),
+            v in collection::vec(0u64..0x1000, 0..100),
+        ) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(pair.0 < 12 && pair.1 < 12);
+            prop_assert!(v.len() < 100);
+            prop_assert!(v.iter().all(|&e| e < 0x1000));
+        }
+
+        #[test]
+        fn any_and_inclusive_ranges_work(b in any::<bool>(), lvl in 2u8..=6) {
+            prop_assert!(b || !b);
+            prop_assert!((2..=6).contains(&lvl));
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        use crate::Strategy;
+        let mut a = crate::test_runner::TestRunner::default();
+        let mut b = crate::test_runner::TestRunner::default();
+        let strat = 0u64..u64::MAX;
+        for _ in 0..32 {
+            assert_eq!(strat.generate(&mut a.rng), strat.generate(&mut b.rng));
+        }
+    }
+}

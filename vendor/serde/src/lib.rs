@@ -1,0 +1,26 @@
+//! Offline shim for the subset of [serde](https://serde.rs) this workspace
+//! uses.
+//!
+//! The build container has no network access, so the real crate cannot be
+//! fetched. The simulator's config and statistics types derive
+//! `Serialize`/`Deserialize` for downstream tooling, but nothing in-tree
+//! serializes yet, so this shim only needs to make the `use` paths and
+//! derive attributes resolve:
+//!
+//! * [`Serialize`] / [`Deserialize`] marker traits (never used as bounds
+//!   in-tree), and
+//! * re-exported no-op derive macros from the sibling `serde_derive` shim
+//!   (behind the `derive` feature, mirroring the real crate layout).
+//!
+//! To switch to the real serde, point the `serde` entry in the workspace
+//! `[workspace.dependencies]` table back at crates.io; no source changes are
+//! required.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -10,6 +10,7 @@ use lnuca_sim::system::System;
 use lnuca_types::{Addr, Cycle, ReqId};
 use lnuca_workloads::suites;
 use std::hint::black_box;
+use std::time::Instant;
 
 /// 10 000 fabric cycles with one search injected every 4 cycles and a root
 /// eviction every 8 — a load comparable to an L1 miss rate of 25 %.
@@ -40,6 +41,23 @@ fn bench_fabric_tick(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // Absolute throughput next to the per-iteration times, so a perf
+    // regression is a falling number in plain bench output (compare with
+    // the committed BENCH_baseline.json).
+    for levels in [2u8, 3, 4] {
+        let started = Instant::now();
+        let reps = 10u64;
+        for _ in 0..reps {
+            black_box(fabric_tick_loop(levels));
+        }
+        let secs = started.elapsed().as_secs_f64();
+        let cycles = reps * 10_000;
+        eprintln!(
+            "throughput fabric_tick/{levels}: {:.0} kcycles/s",
+            if secs > 0.0 { cycles as f64 / 1_000.0 / secs } else { 0.0 }
+        );
+    }
 }
 
 fn bench_full_system(c: &mut Criterion) {
@@ -52,16 +70,27 @@ fn bench_full_system(c: &mut Criterion) {
     ];
     let mut group = c.benchmark_group("full_system_10k_instructions");
     group.sample_size(10);
-    for (name, kind) in kinds {
-        group.bench_function(name, |b| {
+    for (name, kind) in &kinds {
+        group.bench_function(*name, |b| {
             b.iter(|| {
                 let result =
-                    System::run_workload(&kind, &profile, 10_000, 1).expect("valid configuration");
+                    System::run_workload(kind, &profile, 10_000, 1).expect("valid configuration");
                 black_box(result.cycles)
             });
         });
     }
     group.finish();
+
+    for (name, kind) in &kinds {
+        let started = Instant::now();
+        let result = System::run_workload(kind, &profile, 10_000, 1).expect("valid configuration");
+        let secs = started.elapsed().as_secs_f64();
+        eprintln!(
+            "throughput full_system/{name}: {:.0} kcycles/s ({} cycles simulated)",
+            if secs > 0.0 { result.cycles as f64 / 1_000.0 / secs } else { 0.0 },
+            result.cycles,
+        );
+    }
 }
 
 criterion_group!(benches, bench_fabric_tick, bench_full_system);

@@ -4,20 +4,23 @@
 //! `EXPERIMENTS.md`; the per-figure binaries (`fig4a_*`, `table3_*`, ...)
 //! print the same rows individually.
 
-use lnuca_bench::{f3, options_from_env, signed_pct};
+use lnuca_bench::{baseline, f3, options_from_env, signed_pct};
 use lnuca_sim::experiments::{area_table, headline, Study};
 use lnuca_sim::report::format_table;
 use lnuca_workloads::Suite;
+use std::time::Instant;
 
 fn main() {
     let opts = options_from_env();
     eprintln!(
-        "running both studies: {} instructions per run, levels {:?}, {} benchmarks per suite",
+        "running both studies: {} instructions per run, levels {:?}, {} benchmarks per suite, {} worker thread(s)",
         opts.instructions,
         opts.lnuca_levels,
         opts.benchmarks_per_suite
-            .map_or("all".to_owned(), |n| n.to_string())
+            .map_or("all".to_owned(), |n| n.to_string()),
+        opts.threads,
     );
+    let wall_start = Instant::now();
 
     println!("== Table II — conventional and L-NUCA areas ==\n");
     let rows: Vec<Vec<String>> = area_table()
@@ -41,7 +44,9 @@ fn main() {
     );
 
     eprintln!("simulating the conventional study...");
+    let conventional_start = Instant::now();
     let conventional = Study::conventional(&opts).expect("paper configurations are valid");
+    let conventional_wall = conventional_start.elapsed().as_secs_f64();
 
     println!("== Fig. 4(a) — IPC harmonic mean (conventional study) ==\n");
     print_ipc(&conventional);
@@ -66,12 +71,71 @@ fn main() {
     );
 
     eprintln!("simulating the D-NUCA study...");
+    let dnuca_start = Instant::now();
     let dnuca = Study::dnuca(&opts).expect("paper configurations are valid");
+    let dnuca_wall = dnuca_start.elapsed().as_secs_f64();
 
     println!("== Fig. 5(a) — IPC harmonic mean (D-NUCA study) ==\n");
     print_ipc(&dnuca);
     println!("== Fig. 5(b) — total energy normalised to DN-4x8 ==\n");
     print_energy(&dnuca);
+
+    let studies = [
+        baseline::StudyPerf {
+            name: "conventional",
+            wall_seconds: conventional_wall,
+            runs: &conventional.perf,
+        },
+        baseline::StudyPerf {
+            name: "dnuca",
+            wall_seconds: dnuca_wall,
+            runs: &dnuca.perf,
+        },
+    ];
+
+    println!("== Simulator throughput (wall-clock, not modelled time) ==\n");
+    print_throughput(&studies);
+
+    if let Some(path) = baseline::path_from_env(true) {
+        let json = baseline::baseline_json(&opts, &studies, wall_start.elapsed().as_secs_f64());
+        if let Err(err) = baseline::write(&path, &json) {
+            eprintln!("warning: could not write {}: {err}", path.display());
+        }
+    }
+}
+
+fn print_throughput(studies: &[baseline::StudyPerf<'_>]) {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for study in studies {
+        for (label, runs, wall, cycles, kcps) in baseline::per_configuration(study.runs) {
+            rows.push(vec![
+                study.name.to_owned(),
+                label,
+                runs.to_string(),
+                format!("{wall:.3}"),
+                format!("{:.1}", cycles as f64 / 1e6),
+                format!("{kcps:.0}"),
+            ]);
+        }
+        rows.push(vec![
+            study.name.to_owned(),
+            "(whole study)".to_owned(),
+            study.runs.len().to_string(),
+            format!("{:.3}", study.wall_seconds),
+            format!(
+                "{:.1}",
+                study.runs.iter().map(|r| r.cycles).sum::<u64>() as f64 / 1e6
+            ),
+            String::new(),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &["study", "configuration", "runs", "wall s", "Mcycles", "kcycles/s"],
+            &rows
+        )
+    );
 }
 
 fn print_ipc(study: &Study) {

@@ -11,19 +11,39 @@
 //! * `LNUCA_BENCHMARKS_PER_SUITE` — restrict each suite to its first N
 //!   benchmarks (default: all eleven),
 //! * `LNUCA_LEVELS` — comma-separated L-NUCA level counts (default `2,3,4`),
-//! * `LNUCA_SEED` — base seed for the synthetic traces (default 1).
+//! * `LNUCA_SEED` — base seed for the synthetic traces (default 1),
+//! * `LNUCA_THREADS` — worker threads for the experiment matrix (default:
+//!   all available hardware threads; results are identical at any value,
+//!   only the wall-clock changes),
+//! * `LNUCA_QUICK` — any value but `0`/empty starts from
+//!   [`ExperimentOptions::quick`] instead of the full-run defaults (the
+//!   other variables still override individual fields),
+//! * `LNUCA_BENCH_JSON` — where `all_experiments` writes the machine-readable
+//!   perf baseline (default `BENCH_baseline.json`, deliberately the path of
+//!   the committed trajectory point — rerunning refreshes it; empty or `-`
+//!   disables). `headline_summary` honours it too but only when set; the
+//!   single-figure binaries never write it.
+//!
+//! Malformed numeric values are rejected with a one-line warning on stderr
+//! naming the variable and the offending value, then the default applies.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod baseline;
 
 use lnuca_sim::experiments::ExperimentOptions;
 
 /// Builds [`ExperimentOptions`] from the `LNUCA_*` environment variables.
 #[must_use]
 pub fn options_from_env() -> ExperimentOptions {
-    let mut opts = ExperimentOptions {
-        instructions: 100_000,
-        ..ExperimentOptions::default()
+    let mut opts = if env_flag("LNUCA_QUICK") {
+        ExperimentOptions::quick()
+    } else {
+        ExperimentOptions {
+            instructions: 100_000,
+            ..ExperimentOptions::default()
+        }
     };
     if let Some(v) = env_u64("LNUCA_INSTRUCTIONS") {
         opts.instructions = v;
@@ -44,11 +64,40 @@ pub fn options_from_env() -> ExperimentOptions {
             opts.lnuca_levels = levels;
         }
     }
+    opts.threads = match env_u64("LNUCA_THREADS") {
+        Some(v) => usize::try_from(v).unwrap_or(usize::MAX).max(1),
+        None => default_threads(),
+    };
     opts
 }
 
+/// The default worker-thread count: one per available hardware thread.
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// `true` if `name` is set to anything but the empty string or `0`.
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 fn env_u64(name: &str) -> Option<u64> {
-    std::env::var(name).ok()?.trim().parse().ok()
+    parse_env_u64(name, &std::env::var(name).ok()?)
+}
+
+/// Parses `raw` as a `u64`, warning on stderr (rather than silently falling
+/// back to the default) when the value is malformed.
+fn parse_env_u64(name: &str, raw: &str) -> Option<u64> {
+    match raw.trim().parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!(
+                "warning: ignoring {name}={raw:?}: expected an unsigned integer, using the default"
+            );
+            None
+        }
+    }
 }
 
 /// Formats a floating-point value with three significant decimals.
@@ -72,6 +121,17 @@ mod tests {
         let opts = options_from_env();
         assert!(opts.instructions >= 1_000);
         assert!(!opts.lnuca_levels.is_empty());
+        assert!(opts.threads >= 1);
+    }
+
+    #[test]
+    fn malformed_env_values_are_rejected_not_swallowed() {
+        // `parse_env_u64` is the pure core of `env_u64`; the warning itself
+        // goes to stderr and is not capturable here.
+        assert_eq!(parse_env_u64("LNUCA_INSTRUCTIONS", "10k"), None);
+        assert_eq!(parse_env_u64("LNUCA_INSTRUCTIONS", ""), None);
+        assert_eq!(parse_env_u64("LNUCA_SEED", "-3"), None);
+        assert_eq!(parse_env_u64("LNUCA_INSTRUCTIONS", " 250 "), Some(250));
     }
 
     #[test]

@@ -46,8 +46,20 @@ struct Buffered<T> {
 /// 1. [`LNuca::inject_search`] when the root tile misses,
 /// 2. [`LNuca::evict_from_root`] when a fill displaces a root-tile victim,
 /// 3. [`LNuca::tick`] exactly once per cycle,
-/// 4. [`LNuca::pop_arrivals`], [`LNuca::pop_global_misses`] and
-///    [`LNuca::pop_spills`] to collect the fabric's outputs.
+/// 4. [`LNuca::drain_arrivals_into`], [`LNuca::drain_global_misses_into`]
+///    and [`LNuca::drain_spills_into`] to collect the fabric's outputs into
+///    caller-owned scratch buffers (the allocating [`LNuca::pop_arrivals`]
+///    et al. remain as conveniences for tests and examples).
+///
+/// # Zero-allocation invariant
+///
+/// Steady-state cycles — `tick` plus the three `drain_*_into` calls —
+/// perform **no heap allocation**: every per-cycle working set (hit lists,
+/// search frontiers, routing candidates) lives in scratch buffers owned by
+/// the fabric whose capacity is reached within the first few thousand
+/// cycles and then reused forever. New fabric code must preserve this:
+/// never `collect()` or build a fresh `Vec`/`VecDeque` inside `tick` or its
+/// phases; add a reusable scratch field instead (see DESIGN.md §9).
 ///
 /// # Example
 ///
@@ -100,6 +112,15 @@ pub struct LNuca {
     search_touched: Vec<bool>,
     last_injection: Option<Cycle>,
     stats: LNucaStats,
+
+    // Reusable per-cycle scratch space (the zero-allocation invariant).
+    // Each buffer is cleared at the start of the phase that uses it and
+    // never escapes `tick`; retired search frontiers return to the pool so
+    // `inject_search` does not allocate either.
+    scratch_hits: Vec<(usize, TransportMsg)>,
+    scratch_frontier: Vec<usize>,
+    scratch_viable: Vec<NodeId>,
+    frontier_pool: Vec<Vec<usize>>,
 }
 
 impl LNuca {
@@ -162,6 +183,10 @@ impl LNuca {
             search_touched: vec![false; n],
             last_injection: None,
             stats,
+            scratch_hits: Vec::new(),
+            scratch_frontier: Vec::new(),
+            scratch_viable: Vec::new(),
+            frontier_pool: Vec::new(),
         })
     }
 
@@ -239,12 +264,19 @@ impl LNuca {
         self.root_evict_queue.retain(|m| m.addr != base);
         removed |= self.root_evict_queue.len() != before;
         for buf in &mut self.replacement_in {
-            let kept: Vec<_> = std::iter::from_fn(|| buf.pop())
-                .filter(|m| m.msg.addr != base)
-                .collect();
-            for m in kept {
-                buf.push(m).expect("re-inserting fewer items than were removed");
-            }
+            let before = buf.len();
+            buf.retain(|m| m.msg.addr != base);
+            removed |= buf.len() != before;
+        }
+        for buf in &mut self.transport_in {
+            let before = buf.len();
+            buf.retain(|m| m.msg.addr != base);
+            removed |= buf.len() != before;
+        }
+        for pending in &mut self.pending_transport {
+            let before = pending.len();
+            pending.retain(|m| m.msg.addr != base);
+            removed |= pending.len() != before;
         }
         removed
     }
@@ -260,12 +292,15 @@ impl LNuca {
         self.last_injection = Some(now);
         self.stats.searches += 1;
         let base = addr.block_base(self.config.block_size);
+        let mut active = self.frontier_pool.pop().unwrap_or_default();
+        active.clear();
+        active.extend_from_slice(&self.search_roots);
         self.searches.push(SearchInFlight {
             addr: base,
             req,
             is_write,
             level: 2,
-            active: self.search_roots.clone(),
+            active,
             process_at: now.next(),
             resolved: false,
         });
@@ -281,9 +316,13 @@ impl LNuca {
         self.root_evict_queue.push_back(ReplMsg { addr: base, dirty });
     }
 
-    /// Hit blocks delivered to the root tile up to and including `now`.
-    pub fn pop_arrivals(&mut self, now: Cycle) -> Vec<Arrival> {
-        let mut out = Vec::new();
+    /// Appends the hit blocks delivered to the root tile up to and including
+    /// `now` to `out`, oldest first.
+    ///
+    /// `out` is not cleared: the caller owns the scratch buffer, clears it
+    /// once per cycle and reuses its capacity forever, so steady-state
+    /// cycles allocate nothing.
+    pub fn drain_arrivals_into(&mut self, now: Cycle, out: &mut Vec<Arrival>) {
         while let Some(front) = self.arrivals.front() {
             if front.available_at <= now {
                 out.push(self.arrivals.pop_front().expect("front exists"));
@@ -291,12 +330,12 @@ impl LNuca {
                 break;
             }
         }
-        out
     }
 
-    /// Global misses determined up to and including `now`.
-    pub fn pop_global_misses(&mut self, now: Cycle) -> Vec<GlobalMiss> {
-        let mut out = Vec::new();
+    /// Appends the global misses determined up to and including `now` to
+    /// `out`, oldest first. Same buffer contract as
+    /// [`LNuca::drain_arrivals_into`].
+    pub fn drain_global_misses_into(&mut self, now: Cycle, out: &mut Vec<GlobalMiss>) {
         while let Some(front) = self.global_misses.front() {
             if front.determined_at <= now {
                 out.push(self.global_misses.pop_front().expect("front exists"));
@@ -304,13 +343,12 @@ impl LNuca {
                 break;
             }
         }
-        out
     }
 
-    /// Blocks evicted out of the fabric toward the next cache level up to and
-    /// including `now`.
-    pub fn pop_spills(&mut self, now: Cycle) -> Vec<Spill> {
-        let mut out = Vec::new();
+    /// Appends the blocks evicted out of the fabric toward the next cache
+    /// level up to and including `now` to `out`, oldest first. Same buffer
+    /// contract as [`LNuca::drain_arrivals_into`].
+    pub fn drain_spills_into(&mut self, now: Cycle, out: &mut Vec<Spill>) {
         while let Some(front) = self.spills.front() {
             if front.at <= now {
                 out.push(self.spills.pop_front().expect("front exists"));
@@ -318,6 +356,32 @@ impl LNuca {
                 break;
             }
         }
+    }
+
+    /// Hit blocks delivered to the root tile up to and including `now`.
+    ///
+    /// Allocates a fresh `Vec` per call; tests and examples only. The hot
+    /// loop uses [`LNuca::drain_arrivals_into`].
+    pub fn pop_arrivals(&mut self, now: Cycle) -> Vec<Arrival> {
+        let mut out = Vec::new();
+        self.drain_arrivals_into(now, &mut out);
+        out
+    }
+
+    /// Global misses determined up to and including `now` (allocating
+    /// convenience over [`LNuca::drain_global_misses_into`]).
+    pub fn pop_global_misses(&mut self, now: Cycle) -> Vec<GlobalMiss> {
+        let mut out = Vec::new();
+        self.drain_global_misses_into(now, &mut out);
+        out
+    }
+
+    /// Blocks evicted out of the fabric toward the next cache level up to and
+    /// including `now` (allocating convenience over
+    /// [`LNuca::drain_spills_into`]).
+    pub fn pop_spills(&mut self, now: Cycle) -> Vec<Spill> {
+        let mut out = Vec::new();
+        self.drain_spills_into(now, &mut out);
         out
     }
 
@@ -334,7 +398,7 @@ impl LNuca {
     // ----- tick phases -------------------------------------------------
 
     fn search_phase(&mut self, now: Cycle) {
-        let mut hits: Vec<(usize, TransportMsg)> = Vec::new();
+        debug_assert!(self.scratch_hits.is_empty());
         let last_level = self.config.levels;
 
         let mut i = 0;
@@ -347,10 +411,13 @@ impl LNuca {
             let req = self.searches[i].req;
             let is_write = self.searches[i].is_write;
             let level = self.searches[i].level;
-            let active = std::mem::take(&mut self.searches[i].active);
+            // The frontier vector is taken out of the search (and later
+            // either handed back or recycled into the pool) so the tile loop
+            // can borrow the rest of `self` freely without cloning it.
+            let mut active = std::mem::take(&mut self.searches[i].active);
             self.stats.search_link_traversals += active.len() as u64;
 
-            let mut next_active: Vec<usize> = Vec::new();
+            self.scratch_frontier.clear();
             let mut hit_this_level = false;
             for &tile in &active {
                 self.search_touched[tile] = true;
@@ -377,7 +444,7 @@ impl LNuca {
                     } else {
                         self.stats.read_hits_per_level[bucket] += 1;
                     }
-                    hits.push((
+                    self.scratch_hits.push((
                         tile,
                         TransportMsg {
                             addr,
@@ -389,7 +456,7 @@ impl LNuca {
                         },
                     ));
                 } else {
-                    next_active.extend_from_slice(&self.search_children[tile]);
+                    self.scratch_frontier.extend_from_slice(&self.search_children[tile]);
                 }
             }
 
@@ -397,7 +464,7 @@ impl LNuca {
             if hit_this_level {
                 search.resolved = true;
             }
-            if level >= last_level || next_active.is_empty() {
+            if level >= last_level || self.scratch_frontier.is_empty() {
                 // Last level processed: the global-miss line gathers the miss
                 // status one cycle later.
                 if !search.resolved {
@@ -410,9 +477,13 @@ impl LNuca {
                     });
                 }
                 self.searches.swap_remove(i);
+                active.clear();
+                self.frontier_pool.push(active);
             } else {
                 search.level = level + 1;
-                search.active = next_active;
+                active.clear();
+                active.extend_from_slice(&self.scratch_frontier);
+                search.active = active;
                 search.process_at = now.next();
                 i += 1;
             }
@@ -421,9 +492,12 @@ impl LNuca {
         // A hit performs its cache access and one hop of routing in the same
         // cycle (the paper's single-cycle tile), so the block leaves the tile
         // now and is available one hop downstream at the start of next cycle.
-        for (tile, msg) in hits {
+        let mut hits = std::mem::take(&mut self.scratch_hits);
+        for &(tile, msg) in &hits {
             self.forward_transport(tile, msg, now);
         }
+        hits.clear();
+        self.scratch_hits = hits;
     }
 
     fn take_from_replacement_buffers(&mut self, tile: usize, addr: Addr) -> Option<bool> {
@@ -434,42 +508,34 @@ impl LNuca {
             }
         }
         let buf = &mut self.replacement_in[tile];
-        if buf.iter().any(|m| m.msg.addr == addr) {
-            let mut dirty = false;
-            let kept: Vec<_> = std::iter::from_fn(|| buf.pop())
-                .filter(|m| {
-                    if m.msg.addr == addr {
-                        dirty = m.msg.dirty;
-                        false
-                    } else {
-                        true
-                    }
-                })
-                .collect();
-            for m in kept {
-                buf.push(m).expect("re-inserting fewer items than were removed");
+        let mut dirty = None;
+        buf.retain(|m| {
+            if m.msg.addr == addr {
+                dirty = Some(m.msg.dirty);
+                false
+            } else {
+                true
             }
-            return Some(dirty);
-        }
-        None
+        });
+        dirty
     }
 
     /// Sends a transport message one hop toward the root, or parks it in the
     /// tile's pending slot if every downstream buffer is Off.
     fn forward_transport(&mut self, tile: usize, msg: TransportMsg, now: Cycle) {
-        let hops = &self.transport_next[tile];
-        let mut viable: Vec<NodeId> = Vec::with_capacity(hops.len());
-        for hop in hops {
+        let root = NodeId(self.tiles.len());
+        self.scratch_viable.clear();
+        for hop in &self.transport_next[tile] {
             match *hop {
-                Hop::Root => viable.push(NodeId(self.tiles.len())),
+                Hop::Root => self.scratch_viable.push(root),
                 Hop::Tile(t) => {
                     if self.transport_in[t].is_on() {
-                        viable.push(NodeId(t));
+                        self.scratch_viable.push(NodeId(t));
                     }
                 }
             }
         }
-        match self.routing.choose(&viable, &mut self.rng) {
+        match self.routing.choose(&self.scratch_viable, &mut self.rng) {
             Some(node) if node.0 == self.tiles.len() => {
                 self.stats.transport_link_traversals += 1;
                 self.deliver_to_root(msg, now);
@@ -515,8 +581,11 @@ impl LNuca {
     }
 
     fn transport_phase(&mut self, now: Cycle) {
-        let order = self.transport_order.clone();
-        for tile in order {
+        // Indexed loop rather than iteration: `forward_transport` needs the
+        // whole `&mut self`, and `transport_order` never changes, so cloning
+        // it every cycle was pure allocation overhead.
+        for order_idx in 0..self.transport_order.len() {
+            let tile = self.transport_order[order_idx];
             // How many messages can this tile forward this cycle: one per
             // output link.
             let max_sends = self.transport_next[tile].len();
@@ -566,13 +635,13 @@ impl LNuca {
                         at: now,
                     });
                 } else {
-                    let viable: Vec<NodeId> = self.replacement_next[tile]
-                        .iter()
-                        .copied()
-                        .filter(|&t| self.replacement_in[t].is_on())
-                        .map(NodeId)
-                        .collect();
-                    match self.routing.choose(&viable, &mut self.rng) {
+                    self.scratch_viable.clear();
+                    for &t in &self.replacement_next[tile] {
+                        if self.replacement_in[t].is_on() {
+                            self.scratch_viable.push(NodeId(t));
+                        }
+                    }
+                    match self.routing.choose(&self.scratch_viable, &mut self.rng) {
                         Some(node) => {
                             self.pending_victims[tile] = None;
                             self.stats.replacement_link_traversals += 1;
@@ -612,14 +681,13 @@ impl LNuca {
 
     fn root_evict_phase(&mut self, now: Cycle) {
         if let Some(&victim) = self.root_evict_queue.front() {
-            let viable: Vec<NodeId> = self
-                .root_targets
-                .iter()
-                .copied()
-                .filter(|&t| self.replacement_in[t].is_on())
-                .map(NodeId)
-                .collect();
-            if let Some(node) = self.routing.choose(&viable, &mut self.rng) {
+            self.scratch_viable.clear();
+            for &t in &self.root_targets {
+                if self.replacement_in[t].is_on() {
+                    self.scratch_viable.push(NodeId(t));
+                }
+            }
+            if let Some(node) = self.routing.choose(&self.scratch_viable, &mut self.rng) {
                 self.root_evict_queue.pop_front();
                 self.stats.replacement_link_traversals += 1;
                 self.replacement_in[node.0]
@@ -808,6 +876,19 @@ mod tests {
         assert!(f.invalidate(addr));
         assert!(!f.contains(addr));
         assert!(!f.invalidate(addr));
+    }
+
+    #[test]
+    fn invalidate_reports_removal_of_in_flight_blocks() {
+        let mut f = fabric(2);
+        let addr = Addr(0x5440);
+        f.evict_from_root(addr, true);
+        // One tick: the victim enters an Le2 U buffer but no tile array yet.
+        f.tick(Cycle(0));
+        assert!(f.contains(addr));
+        assert_eq!(f.resident_blocks(), 0);
+        assert!(f.invalidate(addr), "removal from a U buffer must report true");
+        assert!(!f.contains(addr));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::config::CoreConfig;
 use crate::memory::DataMemory;
 use crate::predictor::HybridPredictor;
-use lnuca_types::{Addr, ConfigError, Cycle, MemRequest, ReqId};
+use lnuca_types::{Addr, ConfigError, Cycle, MemRequest, MemResponse, ReqId};
 use lnuca_workloads::{Instr, InstrKind};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
@@ -137,6 +137,9 @@ pub struct OooCore<T> {
     /// An instruction pulled from the trace that could not be dispatched yet
     /// (ROB/window/LSQ back-pressure).
     pending_fetch: Option<Instr>,
+    /// Reused per-cycle buffer for hierarchy completions (zero-allocation
+    /// steady state).
+    completion_scratch: Vec<MemResponse>,
     stats: CoreStats,
 }
 
@@ -161,6 +164,7 @@ impl<T: Iterator<Item = Instr>> OooCore<T> {
             fetch_blocked_on: None,
             fetch_stalled_until: Cycle::ZERO,
             pending_fetch: None,
+            completion_scratch: Vec::new(),
             stats: CoreStats::default(),
         })
     }
@@ -210,7 +214,10 @@ impl<T: Iterator<Item = Instr>> OooCore<T> {
     // --- pipeline stages -------------------------------------------------
 
     fn collect_completions(&mut self, now: Cycle, memory: &mut dyn DataMemory) {
-        for resp in memory.completions(now) {
+        let mut responses = std::mem::take(&mut self.completion_scratch);
+        responses.clear();
+        memory.drain_completions(now, &mut responses);
+        for &resp in &responses {
             if let Some((seq, issued_at)) = self.pending_loads.remove(&resp.id) {
                 if let Some(entry) = self.entry_mut(seq) {
                     entry.state = EntryState::Completed;
@@ -222,6 +229,7 @@ impl<T: Iterator<Item = Instr>> OooCore<T> {
             // Store-write completions carry no dependent work: the store
             // buffer entry was freed when the hierarchy accepted the write.
         }
+        self.completion_scratch = responses;
     }
 
     fn finish_execution(&mut self, now: Cycle) {

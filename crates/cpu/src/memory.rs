@@ -16,11 +16,43 @@ pub trait DataMemory {
     /// busy, MSHRs full, write buffer full); the caller must retry later.
     fn issue(&mut self, req: MemRequest, now: Cycle) -> bool;
 
+    /// Appends the completions that have become available up to and
+    /// including `now` to `out`, oldest first.
+    ///
+    /// `out` is not cleared: the caller owns the scratch buffer and reuses
+    /// its capacity across cycles, so a steady-state cycle performs no heap
+    /// allocation (the zero-allocation invariant of DESIGN.md §9).
+    fn drain_completions(&mut self, now: Cycle, out: &mut Vec<MemResponse>);
+
     /// Completions that have become available up to and including `now`.
-    fn completions(&mut self, now: Cycle) -> Vec<MemResponse>;
+    ///
+    /// Allocating convenience over [`DataMemory::drain_completions`] for
+    /// tests and examples; the simulation loop uses the drain form.
+    fn completions(&mut self, now: Cycle) -> Vec<MemResponse> {
+        let mut out = Vec::new();
+        self.drain_completions(now, &mut out);
+        out
+    }
 
     /// Advances the hierarchy by one cycle.
     fn tick(&mut self, now: Cycle);
+}
+
+/// Moves every response with `completed_at <= now` from `queue` to `out`
+/// (oldest first), keeping the rest in order — one rotation of the queue,
+/// no temporary allocation.
+///
+/// The shared building block for [`DataMemory::drain_completions`]
+/// implementations whose completion queue is not sorted by completion time.
+pub fn drain_ready(queue: &mut VecDeque<MemResponse>, now: Cycle, out: &mut Vec<MemResponse>) {
+    for _ in 0..queue.len() {
+        let resp = queue.pop_front().expect("length checked");
+        if resp.completed_at <= now {
+            out.push(resp);
+        } else {
+            queue.push_back(resp);
+        }
+    }
 }
 
 /// A memory that accepts every request and completes it after a fixed
@@ -74,18 +106,8 @@ impl DataMemory for FixedLatencyMemory {
         true
     }
 
-    fn completions(&mut self, now: Cycle) -> Vec<MemResponse> {
-        let mut done = Vec::new();
-        let mut remaining = VecDeque::new();
-        while let Some(resp) = self.in_flight.pop_front() {
-            if resp.completed_at <= now {
-                done.push(resp);
-            } else {
-                remaining.push_back(resp);
-            }
-        }
-        self.in_flight = remaining;
-        done
+    fn drain_completions(&mut self, now: Cycle, out: &mut Vec<MemResponse>) {
+        drain_ready(&mut self.in_flight, now, out);
     }
 
     fn tick(&mut self, _now: Cycle) {}

@@ -170,12 +170,11 @@ impl CacheArray {
             return None;
         }
 
-        // Evict a victim.
-        let (last_use, inserted): (Vec<u64>, Vec<u64>) = self.sets[set_index]
-            .iter()
-            .map(|w| (w.last_use, w.inserted))
-            .unzip();
-        let victim_way = self.policy.choose_victim(&last_use, &inserted, tick);
+        // Evict a victim (streaming the way metadata keeps this hot path
+        // free of temporary allocations).
+        let victim_way = self
+            .policy
+            .choose_victim_from(self.sets[set_index].iter().map(|w| (w.last_use, w.inserted)), tick);
         let way = &mut self.sets[set_index][victim_way];
         let victim = way.line.expect("full set has a line in every way");
         way.line = Some(Line { addr: base, dirty });

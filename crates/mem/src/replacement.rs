@@ -29,31 +29,52 @@ impl ReplacementPolicy {
     /// Panics if the slices are empty or have different lengths.
     #[must_use]
     pub fn choose_victim(self, last_use: &[u64], inserted: &[u64], tick: u64) -> usize {
-        assert!(!last_use.is_empty(), "cannot choose a victim among zero ways");
         assert_eq!(last_use.len(), inserted.len(), "way metadata length mismatch");
+        self.choose_victim_from(last_use.iter().copied().zip(inserted.iter().copied()), tick)
+    }
+
+    /// Chooses the way to evict, streaming `(last_use, inserted)` pairs
+    /// instead of materialising two slices.
+    ///
+    /// This is the form the per-cycle loops use: a cache array can feed its
+    /// way metadata straight from its set without building temporary `Vec`s
+    /// (the zero-allocation invariant of DESIGN.md §9). Ties resolve to the
+    /// lowest way index, exactly like [`ReplacementPolicy::choose_victim`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` yields no items.
+    #[must_use]
+    pub fn choose_victim_from<I>(self, ways: I, tick: u64) -> usize
+    where
+        I: IntoIterator<Item = (u64, u64)>,
+    {
+        let mut count = 0usize;
+        let mut min_last_use = (0usize, u64::MAX);
+        let mut min_inserted = (0usize, u64::MAX);
+        for (i, (last_use, inserted)) in ways.into_iter().enumerate() {
+            count += 1;
+            if last_use < min_last_use.1 {
+                min_last_use = (i, last_use);
+            }
+            if inserted < min_inserted.1 {
+                min_inserted = (i, inserted);
+            }
+        }
+        assert!(count > 0, "cannot choose a victim among zero ways");
         match self {
-            ReplacementPolicy::Lru => position_of_min(last_use),
-            ReplacementPolicy::Fifo => position_of_min(inserted),
+            ReplacementPolicy::Lru => min_last_use.0,
+            ReplacementPolicy::Fifo => min_inserted.0,
             ReplacementPolicy::Random => {
                 // SplitMix64 step keeps the choice deterministic per tick.
                 let mut z = tick.wrapping_add(0x9E37_79B9_7F4A_7C15);
                 z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
                 z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
                 z ^= z >> 31;
-                (z % last_use.len() as u64) as usize
+                (z % count as u64) as usize
             }
         }
     }
-}
-
-fn position_of_min(values: &[u64]) -> usize {
-    let mut best = 0;
-    for (i, &v) in values.iter().enumerate() {
-        if v < values[best] {
-            best = i;
-        }
-    }
-    best
 }
 
 #[cfg(test)]

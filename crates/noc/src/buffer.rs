@@ -129,6 +129,19 @@ impl<T> OnOffBuffer<T> {
     pub fn iter(&self) -> impl Iterator<Item = &T> + '_ {
         self.entries.iter()
     }
+
+    /// Keeps only the messages for which `keep` returns `true`, preserving
+    /// FIFO order among the survivors.
+    ///
+    /// This is the allocation-free way to pull a matching message out of the
+    /// middle of the buffer (e.g. an L-NUCA search hitting a block that is
+    /// still in flight in a U buffer); the old pop-filter-repush idiom
+    /// allocated a temporary `Vec` every time. Removals are not counted as
+    /// pops or stalls; the On/Off signal reflects the new occupancy
+    /// immediately.
+    pub fn retain<F: FnMut(&T) -> bool>(&mut self, keep: F) {
+        self.entries.retain(keep);
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +192,19 @@ mod tests {
         assert_eq!(b.front(), Some(&1));
         assert_eq!(b.iter().copied().collect::<Vec<_>>(), vec![1, 2]);
         assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn retain_preserves_order_and_reopens_the_buffer() {
+        let mut b = OnOffBuffer::new(3);
+        b.push(1).unwrap();
+        b.push(2).unwrap();
+        b.push(3).unwrap();
+        assert!(!b.is_on());
+        b.retain(|&v| v != 2);
+        assert!(b.is_on());
+        assert_eq!(b.iter().copied().collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(b.pushes(), 3, "retain does not rewrite the push counter");
     }
 
     #[test]

@@ -44,6 +44,14 @@ impl RoutingPolicy {
     /// Chooses one output among `candidates`, restricted to those whose
     /// index satisfies `usable`. Falls back to `None` if no candidate is
     /// usable (e.g. all downstream buffers are Off).
+    ///
+    /// This runs without heap allocation so it can sit inside per-cycle
+    /// loops; the price is that `usable` may be evaluated up to twice per
+    /// candidate (once to count, once to select), so it must be cheap and
+    /// yield the same answer both times within one call. It consumes exactly
+    /// the same RNG draws as building the viable list and calling
+    /// [`RoutingPolicy::choose`], so simulations keep their cycle-accurate
+    /// reproducibility either way.
     pub fn choose_filtered<R, F>(
         self,
         candidates: &[NodeId],
@@ -54,8 +62,17 @@ impl RoutingPolicy {
         R: Rng + ?Sized,
         F: FnMut(NodeId) -> bool,
     {
-        let viable: Vec<NodeId> = candidates.iter().copied().filter(|&n| usable(n)).collect();
-        self.choose(&viable, rng)
+        match self {
+            RoutingPolicy::DimensionOrder => candidates.iter().copied().find(|&n| usable(n)),
+            RoutingPolicy::RandomValid => {
+                let viable = candidates.iter().filter(|&&n| usable(n)).count();
+                if viable == 0 {
+                    return None;
+                }
+                let idx = rng.gen_range(0..viable);
+                candidates.iter().copied().filter(|&n| usable(n)).nth(idx)
+            }
+        }
     }
 }
 
@@ -123,5 +140,21 @@ mod tests {
             RoutingPolicy::RandomValid.choose_filtered(&candidates, &mut rng, |_| false),
             None
         );
+    }
+
+    #[test]
+    fn filtered_choice_consumes_the_same_draws_as_collect_then_choose() {
+        // The allocation-free path must stay drop-in: same RNG stream, same
+        // picks as materialising the viable list first.
+        let candidates = [NodeId(1), NodeId(2), NodeId(3), NodeId(4)];
+        let usable = |n: NodeId| n.0 != 3;
+        let mut rng_a = SmallRng::seed_from_u64(11);
+        let mut rng_b = SmallRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let fast = RoutingPolicy::RandomValid.choose_filtered(&candidates, &mut rng_a, usable);
+            let viable: Vec<NodeId> = candidates.iter().copied().filter(|&n| usable(n)).collect();
+            let slow = RoutingPolicy::RandomValid.choose(&viable, &mut rng_b);
+            assert_eq!(fast, slow);
+        }
     }
 }

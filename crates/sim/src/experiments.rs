@@ -20,6 +20,9 @@ use lnuca_types::stats::harmonic_mean;
 use lnuca_types::ConfigError;
 use lnuca_workloads::{suites, Suite, WorkloadProfile};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Knobs shared by every experiment.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -32,6 +35,11 @@ pub struct ExperimentOptions {
     pub benchmarks_per_suite: Option<usize>,
     /// L-NUCA level counts to evaluate (the paper uses 2, 3 and 4).
     pub lnuca_levels: Vec<u8>,
+    /// Worker threads running the configuration × benchmark matrix
+    /// (1 = sequential on the calling thread). Every run is seed-isolated,
+    /// so the results — and every summary derived from them — are identical
+    /// whatever the thread count; only the wall-clock changes.
+    pub threads: usize,
 }
 
 impl Default for ExperimentOptions {
@@ -41,6 +49,7 @@ impl Default for ExperimentOptions {
             seed: 1,
             benchmarks_per_suite: None,
             lnuca_levels: vec![2, 3, 4],
+            threads: 1,
         }
     }
 }
@@ -54,6 +63,7 @@ impl ExperimentOptions {
             seed: 1,
             benchmarks_per_suite: Some(2),
             lnuca_levels: vec![2, 3],
+            threads: 1,
         }
     }
 
@@ -77,6 +87,29 @@ pub struct Study {
     pub configs: Vec<String>,
     /// One result per (configuration, benchmark).
     pub results: Vec<RunResult>,
+    /// Wall-clock measurement of each run, index-aligned with `results`.
+    /// Unlike `results` this is host-dependent (machine, load, thread
+    /// count); determinism comparisons must ignore it.
+    pub perf: Vec<RunPerf>,
+}
+
+/// Wall-clock cost of simulating one (configuration, benchmark) pair,
+/// recorded by the experiment engine next to the [`RunResult`] at the same
+/// index of [`Study::results`]. This is the simulator's own throughput (the
+/// perf-trajectory metric of `BENCH_baseline.json`), not a property of the
+/// modelled hardware.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunPerf {
+    /// Configuration label.
+    pub label: String,
+    /// Workload name.
+    pub workload: String,
+    /// Wall-clock nanoseconds spent simulating this run.
+    pub wall_nanos: u64,
+    /// Simulated cycles of the run.
+    pub cycles: u64,
+    /// Simulated kilo-cycles per wall-clock second.
+    pub kcycles_per_sec: f64,
 }
 
 /// One row of Fig. 4(a) / Fig. 5(a): harmonic-mean IPC per suite.
@@ -191,17 +224,28 @@ impl Study {
         let workloads = opts.workloads();
         let baseline = kinds[0].label();
         let configs: Vec<String> = kinds.iter().map(HierarchyKind::label).collect();
-        let mut results = Vec::with_capacity(kinds.len() * workloads.len());
+        let mut jobs = Vec::with_capacity(kinds.len() * workloads.len());
         for kind in &kinds {
             for (i, profile) in workloads.iter().enumerate() {
-                let seed = opts.seed.wrapping_add(i as u64);
-                results.push(System::run_workload(kind, profile, opts.instructions, seed)?);
+                jobs.push(Job {
+                    kind,
+                    profile,
+                    seed: opts.seed.wrapping_add(i as u64),
+                });
             }
+        }
+        let mut results = Vec::with_capacity(jobs.len());
+        let mut perf = Vec::with_capacity(jobs.len());
+        for outcome in run_jobs(&jobs, opts.instructions, opts.threads) {
+            let (result, run_perf) = outcome?;
+            results.push(result);
+            perf.push(run_perf);
         }
         Ok(Study {
             baseline,
             configs,
             results,
+            perf,
         })
     }
 
@@ -340,6 +384,71 @@ impl Study {
     }
 }
 
+/// One (configuration, benchmark) cell of the experiment matrix.
+struct Job<'a> {
+    kind: &'a HierarchyKind,
+    profile: &'a WorkloadProfile,
+    seed: u64,
+}
+
+type JobOutcome = Result<(RunResult, RunPerf), ConfigError>;
+
+fn run_job(job: &Job<'_>, instructions: u64) -> JobOutcome {
+    let started = Instant::now();
+    let result = System::run_workload(job.kind, job.profile, instructions, job.seed)?;
+    let wall = started.elapsed();
+    let wall_nanos = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+    let seconds = wall.as_secs_f64();
+    let kcycles_per_sec = if seconds > 0.0 {
+        result.cycles as f64 / 1_000.0 / seconds
+    } else {
+        0.0
+    };
+    let perf = RunPerf {
+        label: result.label.clone(),
+        workload: result.workload.clone(),
+        wall_nanos,
+        cycles: result.cycles,
+        kcycles_per_sec,
+    };
+    Ok((result, perf))
+}
+
+/// Runs the experiment matrix on up to `threads` scoped workers pulling
+/// jobs from a shared queue, returning the outcomes in job order.
+///
+/// Each job builds its own hierarchy, trace generator and core from nothing
+/// but the job description, so runs share no state and the outcome vector is
+/// bit-identical to a sequential execution — the workers only change which
+/// wall-clock instant each run happens at.
+fn run_jobs(jobs: &[Job<'_>], instructions: u64, threads: usize) -> Vec<JobOutcome> {
+    let threads = threads.max(1).min(jobs.len().max(1));
+    if threads == 1 {
+        return jobs.iter().map(|job| run_job(job, instructions)).collect();
+    }
+
+    let next_job = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<JobOutcome>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next_job.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                let outcome = run_job(job, instructions);
+                *slots[i].lock().expect("no other holder can panic") = Some(outcome);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("worker panics propagate out of the scope")
+                .expect("every job index below jobs.len() was claimed exactly once")
+        })
+        .collect()
+}
+
 fn percent_of(value: u64, baseline: u64) -> f64 {
     if baseline == 0 {
         0.0
@@ -469,6 +578,33 @@ mod tests {
         assert!(ipc.iter().all(|r| r.int_ipc > 0.0));
         let energy = study.energy_summary();
         assert!((energy[0].total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let mut opts = ExperimentOptions::quick();
+        opts.instructions = 3_000;
+        opts.lnuca_levels = vec![2];
+        let sequential = Study::conventional(&opts).unwrap();
+        opts.threads = 3;
+        let parallel = Study::conventional(&opts).unwrap();
+        assert_eq!(sequential.results, parallel.results);
+        assert_eq!(sequential.configs, parallel.configs);
+        // Perf is recorded for every run either way (values are host noise).
+        assert_eq!(parallel.perf.len(), parallel.results.len());
+        assert!(parallel.perf.iter().all(|p| p.wall_nanos > 0 && p.cycles > 0));
+    }
+
+    #[test]
+    fn oversubscribed_thread_count_is_clamped_to_the_job_count() {
+        let mut opts = ExperimentOptions::quick();
+        opts.instructions = 1_000;
+        opts.lnuca_levels = vec![2];
+        opts.benchmarks_per_suite = Some(1);
+        opts.threads = 64;
+        let study = Study::conventional(&opts).unwrap();
+        assert_eq!(study.results.len(), 2 * 2);
+        assert_eq!(study.perf.len(), study.results.len());
     }
 
     #[test]

@@ -9,7 +9,7 @@ use lnuca_mem::{
     AccessOutcome, ConventionalCache, MainMemory, MshrAllocation, MshrFile, WriteBuffer,
 };
 use lnuca_types::{Addr, ConfigError, Cycle, MemRequest, MemResponse, ServiceLevel};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 /// A hierarchy with a conventional (non-tiled) L1 in front of an
@@ -30,8 +30,9 @@ pub struct ClassicHierarchy {
     outer: OuterLevel,
     memory: MainMemory,
     /// Completion time and attribution of in-flight block fetches, keyed by
-    /// the L1 block index.
-    outstanding: HashMap<u64, (Cycle, ServiceLevel)>,
+    /// the L1 block index. A `BTreeMap` so the per-cycle retire sweep visits
+    /// entries in a deterministic order.
+    outstanding: BTreeMap<u64, (Cycle, ServiceLevel)>,
     completions: VecDeque<MemResponse>,
     write_drains: u64,
 }
@@ -58,7 +59,7 @@ impl ClassicHierarchy {
                 l3: ConventionalCache::new(config.l3.clone())?,
             },
             memory: MainMemory::new(config.memory)?,
-            outstanding: HashMap::new(),
+            outstanding: BTreeMap::new(),
             completions: VecDeque::new(),
             write_drains: 0,
         })
@@ -87,7 +88,7 @@ impl ClassicHierarchy {
                 dnuca: DNuca::new(config.dnuca.clone())?,
             },
             memory: MainMemory::new(config.memory)?,
-            outstanding: HashMap::new(),
+            outstanding: BTreeMap::new(),
             completions: VecDeque::new(),
             write_drains: 0,
         })
@@ -186,33 +187,24 @@ impl DataMemory for ClassicHierarchy {
         }
     }
 
-    fn completions(&mut self, now: Cycle) -> Vec<MemResponse> {
-        let mut ready = Vec::new();
-        let mut waiting = VecDeque::new();
-        while let Some(resp) = self.completions.pop_front() {
-            if resp.completed_at <= now {
-                ready.push(resp);
-            } else {
-                waiting.push_back(resp);
-            }
-        }
-        self.completions = waiting;
-        ready
+    fn drain_completions(&mut self, now: Cycle, out: &mut Vec<MemResponse>) {
+        lnuca_cpu::drain_ready(&mut self.completions, now, out);
     }
 
     fn tick(&mut self, now: Cycle) {
-        // Retire finished fetches so their MSHR entries free up.
-        let finished: Vec<u64> = self
-            .outstanding
-            .iter()
-            .filter(|(_, (completion, _))| *completion <= now)
-            .map(|(&key, _)| key)
-            .collect();
-        for key in finished {
-            self.outstanding.remove(&key);
-            let addr = Addr(key * self.l1.config().block_size);
-            let _ = self.l1_mshrs.complete(addr);
-        }
+        // Retire finished fetches so their MSHR entries free up. The map is
+        // a BTreeMap so the retire order is the block-index order — stable
+        // across runs — rather than a hash order.
+        let block_size = self.l1.config().block_size;
+        let l1_mshrs = &mut self.l1_mshrs;
+        self.outstanding.retain(|&key, &mut (completion, _)| {
+            if completion <= now {
+                let _ = l1_mshrs.complete(Addr(key * block_size));
+                false
+            } else {
+                true
+            }
+        });
         // Drain one coalesced write per cycle toward the outer level.
         if let Some(addr) = self.write_buffer.drain_one() {
             self.outer.write_through(addr);

@@ -49,6 +49,12 @@ pub struct LNucaHierarchy {
     waiters: WaiterMap,
     completions: VecDeque<MemResponse>,
     write_drains: u64,
+    // Reused per-cycle buffers for the fabric's outputs (zero-allocation
+    // steady state; see DESIGN.md §9). Each is cleared, refilled via the
+    // fabric's `drain_*_into` and handed back within one `tick`.
+    arrival_scratch: Vec<lnuca_core::Arrival>,
+    miss_scratch: Vec<lnuca_core::GlobalMiss>,
+    spill_scratch: Vec<lnuca_core::Spill>,
 }
 
 impl LNucaHierarchy {
@@ -110,6 +116,9 @@ impl LNucaHierarchy {
             waiters: HashMap::new(),
             completions: VecDeque::new(),
             write_drains: 0,
+            arrival_scratch: Vec::new(),
+            miss_scratch: Vec::new(),
+            spill_scratch: Vec::new(),
         })
     }
 
@@ -226,18 +235,8 @@ impl DataMemory for LNucaHierarchy {
         }
     }
 
-    fn completions(&mut self, now: Cycle) -> Vec<MemResponse> {
-        let mut ready = Vec::new();
-        let mut waiting = VecDeque::new();
-        while let Some(resp) = self.completions.pop_front() {
-            if resp.completed_at <= now {
-                ready.push(resp);
-            } else {
-                waiting.push_back(resp);
-            }
-        }
-        self.completions = waiting;
-        ready
+    fn drain_completions(&mut self, now: Cycle, out: &mut Vec<MemResponse>) {
+        lnuca_cpu::drain_ready(&mut self.completions, now, out);
     }
 
     fn tick(&mut self, now: Cycle) {
@@ -245,7 +244,10 @@ impl DataMemory for LNucaHierarchy {
         self.fabric.tick(now);
 
         // 2. Hits coming back through the Transport network.
-        for arrival in self.fabric.pop_arrivals(now) {
+        let mut arrivals = std::mem::take(&mut self.arrival_scratch);
+        arrivals.clear();
+        self.fabric.drain_arrivals_into(now, &mut arrivals);
+        for &arrival in &arrivals {
             if arrival.dirty {
                 // The root tile is write-through; the modified data the tile
                 // was holding is pushed toward the outer level.
@@ -258,22 +260,31 @@ impl DataMemory for LNucaHierarchy {
                 ServiceLevel::LNucaLevel(arrival.hit_level),
             );
         }
+        self.arrival_scratch = arrivals;
 
         // 3. Global misses are forwarded to the outer level.
-        for miss in self.fabric.pop_global_misses(now) {
+        let mut misses = std::mem::take(&mut self.miss_scratch);
+        misses.clear();
+        self.fabric.drain_global_misses_into(now, &mut misses);
+        for &miss in &misses {
             let (completion, served) =
                 self.outer
                     .fetch(miss.addr, miss.is_write, miss.determined_at, &mut self.memory);
             self.fill_root(miss.addr);
             self.complete_waiters(miss.addr, completion, served);
         }
+        self.miss_scratch = misses;
 
         // 4. Blocks spilled by the outermost tiles.
-        for spill in self.fabric.pop_spills(now) {
+        let mut spills = std::mem::take(&mut self.spill_scratch);
+        spills.clear();
+        self.fabric.drain_spills_into(now, &mut spills);
+        for &spill in &spills {
             if spill.dirty {
                 let _ = self.write_buffer.push(spill.addr);
             }
         }
+        self.spill_scratch = spills;
 
         // 5. Inject at most one pending search per cycle.
         while let Some(front) = self.pending_searches.front() {

@@ -89,10 +89,10 @@ impl DataMemory for AnyHierarchy {
         }
     }
 
-    fn completions(&mut self, now: Cycle) -> Vec<MemResponse> {
+    fn drain_completions(&mut self, now: Cycle, out: &mut Vec<MemResponse>) {
         match self {
-            AnyHierarchy::Classic(h) => h.completions(now),
-            AnyHierarchy::LNuca(h) => h.completions(now),
+            AnyHierarchy::Classic(h) => h.drain_completions(now, out),
+            AnyHierarchy::LNuca(h) => h.drain_completions(now, out),
         }
     }
 

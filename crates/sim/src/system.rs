@@ -10,7 +10,11 @@ use lnuca_workloads::{Suite, TraceGenerator, WorkloadProfile};
 use serde::{Deserialize, Serialize};
 
 /// The outcome of simulating one workload on one hierarchy.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Every field is a deterministic function of (hierarchy kind, workload
+/// profile, instruction count, seed) — `PartialEq` compares bit-exactly,
+/// which is what the parallel-vs-sequential determinism tests rely on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunResult {
     /// Hierarchy label (e.g. `LN3-144KB`).
     pub label: String,

@@ -14,6 +14,7 @@ fn reduced_options() -> ExperimentOptions {
         seed: 1,
         benchmarks_per_suite: Some(2),
         lnuca_levels: vec![2, 3],
+        threads: 1,
     }
 }
 
@@ -112,6 +113,7 @@ fn lnuca_plus_dnuca_does_not_regress() {
         seed: 3,
         benchmarks_per_suite: Some(2),
         lnuca_levels: vec![2],
+        threads: 1,
     };
     let study = Study::dnuca(&opts).expect("valid configurations");
     let ipc = study.ipc_summary();

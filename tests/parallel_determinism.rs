@@ -1,0 +1,70 @@
+//! Pins the contract of the parallel experiment engine: a `threads = 4`
+//! [`Study`] is **result-for-result identical** to a `threads = 1` run with
+//! the same options — same `RunResult`s (IPC, hit counters, energy events)
+//! in the same order, and therefore byte-identical summary tables. The
+//! workers only change when each run happens, never what it computes.
+
+use lnuca_suite::sim::experiments::{ExperimentOptions, Study};
+
+fn reduced_options() -> ExperimentOptions {
+    ExperimentOptions {
+        instructions: 8_000,
+        seed: 1,
+        benchmarks_per_suite: Some(2),
+        lnuca_levels: vec![2, 3],
+        threads: 1,
+    }
+}
+
+fn assert_studies_identical(sequential: &Study, parallel: &Study) {
+    assert_eq!(sequential.configs, parallel.configs);
+    assert_eq!(sequential.baseline, parallel.baseline);
+    assert_eq!(sequential.results.len(), parallel.results.len());
+    for (seq, par) in sequential.results.iter().zip(&parallel.results) {
+        assert_eq!(seq.label, par.label);
+        assert_eq!(seq.workload, par.workload);
+        assert_eq!(seq.suite, par.suite);
+        assert_eq!(seq.instructions, par.instructions);
+        assert_eq!(seq.cycles, par.cycles, "{} on {}", seq.label, seq.workload);
+        assert_eq!(
+            seq.ipc.to_bits(),
+            par.ipc.to_bits(),
+            "{} on {}: IPC must match bit-exactly",
+            seq.label,
+            seq.workload
+        );
+        assert_eq!(seq.core, par.core, "{} on {}", seq.label, seq.workload);
+        assert_eq!(seq.hierarchy, par.hierarchy, "{} on {}", seq.label, seq.workload);
+        assert_eq!(seq.energy, par.energy, "{} on {}", seq.label, seq.workload);
+    }
+    // The derived summaries follow, but check them anyway: they are what the
+    // printed tables are built from.
+    assert_eq!(sequential.ipc_summary(), parallel.ipc_summary());
+    assert_eq!(sequential.energy_summary(), parallel.energy_summary());
+    assert_eq!(sequential.hit_distribution(), parallel.hit_distribution());
+}
+
+#[test]
+fn four_workers_match_sequential_on_the_conventional_study() {
+    let mut opts = reduced_options();
+    let sequential = Study::conventional(&opts).expect("valid configurations");
+    opts.threads = 4;
+    let parallel = Study::conventional(&opts).expect("valid configurations");
+    assert_studies_identical(&sequential, &parallel);
+    // Perf is recorded for every run in both modes (values are host noise
+    // and deliberately excluded from the identity above).
+    assert_eq!(parallel.perf.len(), parallel.results.len());
+    assert!(parallel.perf.iter().all(|p| p.cycles > 0));
+}
+
+#[test]
+fn four_workers_match_sequential_on_the_dnuca_study() {
+    let mut opts = reduced_options();
+    opts.instructions = 5_000;
+    opts.lnuca_levels = vec![2];
+    opts.benchmarks_per_suite = Some(1);
+    let sequential = Study::dnuca(&opts).expect("valid configurations");
+    opts.threads = 4;
+    let parallel = Study::dnuca(&opts).expect("valid configurations");
+    assert_studies_identical(&sequential, &parallel);
+}

@@ -3,8 +3,15 @@
 //! Every `all_experiments` invocation measures the wall-clock cost and
 //! simulated kilo-cycles/sec of each (configuration, benchmark) run and can
 //! serialise them here, establishing the repository's perf trajectory: the
-//! committed `BENCH_baseline.json` is the first point, CI uploads a fresh
-//! point per run, and regressions show up as falling `kcycles_per_sec`.
+//! committed `BENCH_baseline.json` holds the latest recorded point, CI
+//! compares a fresh point against it per run (`baseline_delta`, warn-only),
+//! and regressions show up as falling `kcycles_per_sec`.
+//!
+//! Schema history: `lnuca-bench-baseline/v1` (PR 2) had no `engine` field;
+//! `v2` adds it (the [`lnuca_sim::system::Engine`] label, e.g.
+//! `event-horizon`) so the perf trajectory records which time-stepping
+//! engine produced each point. Results are engine-independent — only the
+//! throughput changes.
 //!
 //! The workspace builds offline (DESIGN.md §8), so the vendored `serde` shim
 //! cannot serialise; this module emits the small, flat document by hand. The
@@ -59,7 +66,8 @@ pub fn baseline_json(
 ) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\n");
-    push_str_field(&mut out, 1, "schema", "lnuca-bench-baseline/v1");
+    push_str_field(&mut out, 1, "schema", "lnuca-bench-baseline/v2");
+    push_str_field(&mut out, 1, "engine", opts.engine.label());
     push_raw_field(&mut out, 1, "threads", &opts.threads.to_string());
     push_raw_field(
         &mut out,
@@ -234,7 +242,8 @@ mod tests {
             runs: &runs,
         }];
         let json = baseline_json(&opts, &studies, 0.002);
-        assert!(json.contains("\"schema\": \"lnuca-bench-baseline/v1\""));
+        assert!(json.contains("\"schema\": \"lnuca-bench-baseline/v2\""));
+        assert!(json.contains("\"engine\": \"event-horizon\""));
         assert!(json.contains("\"kcycles_per_sec\""));
         assert!(json.contains("\\\"x\\\""), "quotes inside names are escaped");
         // Balanced braces/brackets and no trailing commas before closers.

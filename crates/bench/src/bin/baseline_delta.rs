@@ -1,0 +1,133 @@
+//! Prints a per-configuration `kcycles_per_sec` delta table between two
+//! `BENCH_baseline.json` files (committed trajectory point vs a freshly
+//! generated one). **Warn-only**: large drops are flagged on stderr, but the
+//! exit code is always 0 — CI runs on a noisy 1-core runner, so throughput
+//! is tracked, not gated.
+//!
+//! ```text
+//! baseline_delta <committed.json> <fresh.json>
+//! ```
+//!
+//! The reader is a deliberately minimal line scanner coupled to the schema
+//! emitted by `lnuca_bench::baseline` (both `v1` and `v2` documents): a
+//! `"study"` line sets the context, and any line carrying `"label"`,
+//! `"runs"` and `"kcycles_per_sec"` together is a per-configuration
+//! aggregate row (per-run rows carry `"workload"` instead of `"runs"`).
+
+use lnuca_sim::report::format_table;
+
+/// Wall-clock drop (in percent) beyond which a configuration is flagged.
+const WARN_DROP_PCT: f64 = 30.0;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (Some(committed_path), Some(fresh_path)) = (args.next(), args.next()) else {
+        eprintln!("usage: baseline_delta <committed.json> <fresh.json>");
+        std::process::exit(2);
+    };
+    let committed = read_configurations(&committed_path);
+    let fresh = read_configurations(&fresh_path);
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut warned = false;
+    for (study, label, new_kcps) in &fresh {
+        let old = committed
+            .iter()
+            .find(|(s, l, _)| s == study && l == label)
+            .map(|&(_, _, kcps)| kcps);
+        let (old_cell, delta_cell) = match old {
+            Some(old_kcps) if old_kcps > 0.0 => {
+                let delta = (new_kcps / old_kcps - 1.0) * 100.0;
+                if delta < -WARN_DROP_PCT {
+                    warned = true;
+                    eprintln!(
+                        "::warning::throughput drop on {study}/{label}: \
+                         {old_kcps:.0} -> {new_kcps:.0} kcycles/s ({delta:+.1}%)"
+                    );
+                }
+                (format!("{old_kcps:.0}"), format!("{delta:+.1}%"))
+            }
+            _ => ("—".to_owned(), "new".to_owned()),
+        };
+        rows.push(vec![
+            study.clone(),
+            label.clone(),
+            old_cell,
+            format!("{new_kcps:.0}"),
+            delta_cell,
+        ]);
+    }
+    for (study, label, old_kcps) in &committed {
+        if !fresh.iter().any(|(s, l, _)| s == study && l == label) {
+            rows.push(vec![
+                study.clone(),
+                label.clone(),
+                format!("{old_kcps:.0}"),
+                "—".to_owned(),
+                "gone".to_owned(),
+            ]);
+        }
+    }
+
+    println!("== Simulator throughput delta (committed vs fresh, kcycles/s) ==\n");
+    println!(
+        "{}",
+        format_table(&["study", "configuration", "committed", "fresh", "delta"], &rows)
+    );
+    if warned {
+        eprintln!(
+            "note: drops beyond {WARN_DROP_PCT}% flagged above are informational; \
+             this step never fails the build"
+        );
+    }
+}
+
+/// Reads `(study, label, kcycles_per_sec)` configuration aggregates out of a
+/// baseline document, exiting with a warning (and an empty set) if the file
+/// is unreadable — the delta step must never break CI.
+fn read_configurations(path: &str) -> Vec<(String, String, f64)> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("::warning::cannot read {path}: {err}; skipping comparison");
+            return Vec::new();
+        }
+    };
+    let mut study = String::new();
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if let Some(value) = string_field(line, "study") {
+            study = value;
+        }
+        // Configuration aggregates carry "runs"; per-run rows carry
+        // "workload" instead.
+        if line.contains("\"runs\":") && !line.contains("\"workload\":") {
+            if let (Some(label), Some(kcps)) =
+                (string_field(line, "label"), number_field(line, "kcycles_per_sec"))
+            {
+                out.push((study.clone(), label, kcps));
+            }
+        }
+    }
+    out
+}
+
+/// Extracts `"key": "value"` from a single JSON line (no escapes expected in
+/// the labels this workspace emits).
+fn string_field(line: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\": \"");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_owned())
+}
+
+/// Extracts `"key": 123.456` from a single JSON line.
+fn number_field(line: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\": ");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}

@@ -18,6 +18,11 @@
 //! * `LNUCA_QUICK` — any value but `0`/empty starts from
 //!   [`ExperimentOptions::quick`] instead of the full-run defaults (the
 //!   other variables still override individual fields),
+//! * `LNUCA_ENGINE` — time-stepping engine: `event` (default; jump idle
+//!   time via the `next_event` horizons of DESIGN.md §10) or `cycle`
+//!   (single-step every cycle). Results are bit-identical either way
+//!   (`tests/event_horizon_determinism.rs`); only throughput changes, and
+//!   the chosen engine is recorded in the baseline's `engine` field,
 //! * `LNUCA_BENCH_JSON` — where `all_experiments` writes the machine-readable
 //!   perf baseline (default `BENCH_baseline.json`, deliberately the path of
 //!   the committed trajectory point — rerunning refreshes it; empty or `-`
@@ -33,6 +38,7 @@
 pub mod baseline;
 
 use lnuca_sim::experiments::ExperimentOptions;
+use lnuca_sim::system::Engine;
 
 /// Builds [`ExperimentOptions`] from the `LNUCA_*` environment variables.
 #[must_use]
@@ -68,7 +74,24 @@ pub fn options_from_env() -> ExperimentOptions {
         Some(v) => usize::try_from(v).unwrap_or(usize::MAX).max(1),
         None => default_threads(),
     };
+    if let Ok(raw) = std::env::var("LNUCA_ENGINE") {
+        match parse_engine(&raw) {
+            Some(engine) => opts.engine = engine,
+            None => eprintln!(
+                "warning: ignoring LNUCA_ENGINE={raw:?}: expected \"event\" or \"cycle\", using the default"
+            ),
+        }
+    }
     opts
+}
+
+/// Parses an `LNUCA_ENGINE` value; `None` for anything unrecognised.
+fn parse_engine(raw: &str) -> Option<Engine> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "event" | "event-horizon" | "horizon" => Some(Engine::EventHorizon),
+        "cycle" | "cycle-step" | "step" | "naive" => Some(Engine::CycleStep),
+        _ => None,
+    }
 }
 
 /// The default worker-thread count: one per available hardware thread.
@@ -132,6 +155,15 @@ mod tests {
         assert_eq!(parse_env_u64("LNUCA_INSTRUCTIONS", ""), None);
         assert_eq!(parse_env_u64("LNUCA_SEED", "-3"), None);
         assert_eq!(parse_env_u64("LNUCA_INSTRUCTIONS", " 250 "), Some(250));
+    }
+
+    #[test]
+    fn engine_values_parse_and_junk_is_rejected() {
+        assert_eq!(parse_engine("event"), Some(Engine::EventHorizon));
+        assert_eq!(parse_engine("Event-Horizon"), Some(Engine::EventHorizon));
+        assert_eq!(parse_engine("cycle"), Some(Engine::CycleStep));
+        assert_eq!(parse_engine(" naive "), Some(Engine::CycleStep));
+        assert_eq!(parse_engine("warp9"), None);
     }
 
     #[test]

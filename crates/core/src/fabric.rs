@@ -385,6 +385,52 @@ impl LNuca {
         out
     }
 
+    /// Earliest cycle strictly after `now` at which ticking the fabric could
+    /// change its state, or `None` when the fabric is completely empty
+    /// (event-horizon contract, DESIGN.md §10).
+    ///
+    /// The fabric moves something every cycle while *anything* is in flight
+    /// — searches advance a level per cycle, buffered messages hop, parked
+    /// messages retry (and count stall cycles) — so any in-flight state
+    /// reports "busy" (`now + 1`). With the tiles and networks drained, the
+    /// only remaining events are the timestamps of undelivered outputs,
+    /// which the hierarchy must drain at exactly their maturity cycles.
+    #[must_use]
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let floor = now.next();
+        if !self.searches.is_empty()
+            || !self.root_evict_queue.is_empty()
+            || self.pending_victims.iter().any(Option::is_some)
+            || self.pending_transport.iter().any(|p| !p.is_empty())
+        {
+            return Some(floor);
+        }
+        let mut horizon: Option<Cycle> = None;
+        let merge = |cur: &mut Option<Cycle>, at: Cycle| Cycle::merge_horizon(cur, at, floor);
+        for buffer in &self.transport_in {
+            if let Some(at) = buffer.next_event_by(|m| m.forwardable_at) {
+                merge(&mut horizon, at);
+            }
+        }
+        for buffer in &self.replacement_in {
+            if let Some(at) = buffer.next_event_by(|m| m.forwardable_at) {
+                merge(&mut horizon, at);
+            }
+        }
+        // Output queues are pushed in timestamp order, so the fronts are the
+        // minima (the same ordering `drain_*_into` relies on).
+        if let Some(arrival) = self.arrivals.front() {
+            merge(&mut horizon, arrival.available_at);
+        }
+        if let Some(miss) = self.global_misses.front() {
+            merge(&mut horizon, miss.determined_at);
+        }
+        if let Some(spill) = self.spills.front() {
+            merge(&mut horizon, spill.at);
+        }
+        horizon
+    }
+
     /// Advances the fabric by one cycle. Must be called exactly once per
     /// simulated cycle with a non-decreasing `now`.
     pub fn tick(&mut self, now: Cycle) {
@@ -916,6 +962,47 @@ mod tests {
             let in_tiles = f.tiles.iter().filter(|t| t.contains(a)).count();
             assert!(in_tiles <= 1, "block {a} duplicated across tiles");
         }
+    }
+
+    #[test]
+    fn next_event_is_none_only_when_the_fabric_is_empty() {
+        let mut f = fabric(3);
+        assert_eq!(f.next_event(Cycle(0)), None, "an empty fabric has no events");
+        // An in-flight search keeps the fabric busy every cycle.
+        assert!(f.inject_search(Addr(0x40), ReqId(1), false, Cycle(0)));
+        assert_eq!(f.next_event(Cycle(0)), Some(Cycle(1)));
+        // Drive to completion; the undelivered global miss is the only
+        // remaining event and is reported at its maturity cycle.
+        for c in 0..2 {
+            f.tick(Cycle(c));
+        }
+        let horizon = f.next_event(Cycle(1)).expect("a miss is pending delivery");
+        assert!(horizon >= Cycle(2));
+        // After every output drains the fabric goes quiet again.
+        for c in 2..8 {
+            f.tick(Cycle(c));
+            let _ = f.pop_arrivals(Cycle(c));
+            let _ = f.pop_global_misses(Cycle(c));
+            let _ = f.pop_spills(Cycle(c));
+        }
+        assert_eq!(f.next_event(Cycle(8)), None);
+    }
+
+    #[test]
+    fn next_event_reports_in_flight_replacement_traffic() {
+        let mut f = fabric(2);
+        f.evict_from_root(Addr(0x800), false);
+        // The victim sits in the root eviction queue: busy.
+        assert_eq!(f.next_event(Cycle(0)), Some(Cycle(1)));
+        f.tick(Cycle(0));
+        // Now it travels the Replacement network: still busy or timestamped.
+        assert!(f.next_event(Cycle(0)).is_some());
+        for c in 1..8 {
+            f.tick(Cycle(c));
+        }
+        // Settled into a tile: quiet.
+        assert_eq!(f.next_event(Cycle(8)), None);
+        assert!(f.contains(Addr(0x800)));
     }
 
     #[test]

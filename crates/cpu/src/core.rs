@@ -140,6 +140,25 @@ pub struct OooCore<T> {
     /// Reused per-cycle buffer for hierarchy completions (zero-allocation
     /// steady state).
     completion_scratch: Vec<MemResponse>,
+    /// Reused per-cycle buffer for the oldest-first issue sweep.
+    seq_scratch: Vec<u64>,
+    /// Open ROB-full stall window: the first cycle fetch found the ROB full.
+    /// Stall *cycles* are accumulated into `stats.rob_full_stalls` lazily,
+    /// when the window closes — ticking inside an open window is a no-op,
+    /// which is what lets the event-horizon engine skip over it while
+    /// producing bit-identical counters (DESIGN.md §10).
+    rob_stall_since: Option<Cycle>,
+    /// Open store-buffer-full commit stall window (same lazy accounting).
+    store_stall_since: Option<Cycle>,
+    /// Open memory-reject stall window: `(first cycle, rejects per cycle)`.
+    /// While the hierarchy's state is frozen the same set of ready loads is
+    /// rejected every cycle, so one `(since, k)` pair replays the per-cycle
+    /// `+k` exactly; a change in `k` closes the window and opens a new one.
+    mem_reject_since: Option<(Cycle, u64)>,
+    /// `true` when the last issue pass issued nothing and rejected at least
+    /// one load: every ready instruction is a load waiting on the hierarchy,
+    /// so the core's next event is the hierarchy's, not `now + 1`.
+    last_issue_all_rejected: bool,
     stats: CoreStats,
 }
 
@@ -165,6 +184,11 @@ impl<T: Iterator<Item = Instr>> OooCore<T> {
             fetch_stalled_until: Cycle::ZERO,
             pending_fetch: None,
             completion_scratch: Vec::new(),
+            seq_scratch: Vec::new(),
+            rob_stall_since: None,
+            store_stall_since: None,
+            mem_reject_since: None,
+            last_issue_all_rejected: false,
             stats: CoreStats::default(),
         })
     }
@@ -209,6 +233,157 @@ impl<T: Iterator<Item = Instr>> OooCore<T> {
         self.drain_store_buffer(now, memory);
         self.issue(now, memory);
         self.fetch_and_dispatch(now);
+    }
+
+    /// Closes any stall windows still open at the end of a run so the lazily
+    /// accumulated counters match per-cycle accounting exactly (a window
+    /// open at `now` covered every executed cycle up to `now - 1`).
+    ///
+    /// Drivers call this once, after the last [`OooCore::tick`], with the
+    /// final value of the simulation clock.
+    pub fn finalize_stats(&mut self, now: Cycle) {
+        if let Some(since) = self.rob_stall_since.take() {
+            self.stats.rob_full_stalls += now.since(since);
+        }
+        if let Some(since) = self.store_stall_since.take() {
+            self.stats.store_buffer_stalls += now.since(since);
+        }
+        if let Some((since, k)) = self.mem_reject_since.take() {
+            self.stats.memory_reject_stalls += now.since(since) * k;
+        }
+    }
+
+    /// Earliest cycle strictly after `now` at which ticking this core could
+    /// change its visible state, or `None` if the core is waiting purely on
+    /// the memory hierarchy (or finished). Part of the event-horizon
+    /// contract (DESIGN.md §10): the caller must merge this with the
+    /// hierarchy's [`DataMemory::next_event`], because load completions and
+    /// the acceptance of previously rejected loads are hierarchy events.
+    ///
+    /// Must be called right after [`OooCore::tick`] at `now`; the invariant
+    /// is that ticking at any cycle in `(now, horizon)` is a no-op.
+    #[must_use]
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.is_finished() {
+            return None;
+        }
+        let floor = now.next();
+        // The store buffer drains one write per cycle, probing the hierarchy
+        // each time; conservatively busy while it holds anything.
+        if !self.store_buffer.is_empty() {
+            return Some(floor);
+        }
+        let mut horizon: Option<Cycle> = None;
+        let merge = |h: &mut Option<Cycle>, at: Cycle| Cycle::merge_horizon(h, at, floor);
+
+        // Front end: if fetch can actually proceed (not branch-blocked, ROB
+        // has room, the staged instruction is not window/LSQ-gated) it runs
+        // every cycle once the misprediction penalty elapses. Blocked
+        // variants need no event of their own — the commits/issues that
+        // unblock them are merged below.
+        if self.fetch_blocked_on.is_none()
+            && (self.pending_fetch.is_some() || !self.trace_exhausted)
+            && self.rob.len() >= self.config.rob_size
+            && self.rob_stall_since.is_none()
+        {
+            // The ROB just filled: the next attempted fetch *opens* the lazy
+            // stall window — a state change in its own right — so the core
+            // stays busy until the attempt happens (at `fetch_stalled_until`
+            // if the front end is serving a misprediction penalty).
+            merge(&mut horizon, self.fetch_stalled_until);
+            if horizon == Some(floor) {
+                return horizon;
+            }
+        }
+        if self.fetch_blocked_on.is_none()
+            && (self.pending_fetch.is_some() || !self.trace_exhausted)
+            && self.rob.len() < self.config.rob_size
+        {
+            let gated = match self.pending_fetch {
+                Some(instr) => {
+                    let class = match instr.kind {
+                        InstrKind::FpAlu => IssueClass::Fp,
+                        InstrKind::Load | InstrKind::Store => IssueClass::Mem,
+                        _ => IssueClass::Int,
+                    };
+                    let window = match class {
+                        IssueClass::Int => self.config.int_window,
+                        IssueClass::Fp => self.config.fp_window,
+                        IssueClass::Mem => self.config.mem_window,
+                    };
+                    (instr.kind.is_memory() && self.lsq_occupancy() >= self.config.lsq_size)
+                        || self.waiting_in_class(class) >= window
+                }
+                // The next instruction is still in the trace: assume it is
+                // dispatchable (over-reporting is safe, see the contract).
+                None => false,
+            };
+            if !gated {
+                if self.fetch_stalled_until <= floor {
+                    return Some(floor);
+                }
+                merge(&mut horizon, self.fetch_stalled_until);
+            }
+        }
+
+        // Commit: a completed head retires at its completion cycle (or next
+        // cycle, if commit width ran out this cycle).
+        if let Some(head) = self.rob.front() {
+            if head.state == EntryState::Completed {
+                if head.completes_at <= floor {
+                    return Some(floor);
+                }
+                merge(&mut horizon, head.completes_at);
+            }
+        }
+
+        for entry in &self.rob {
+            match entry.state {
+                EntryState::Dispatched => {
+                    if self.operands_ready(entry.seq, now) {
+                        // Ready work that was *all* rejected loads wakes with
+                        // the hierarchy (merged by the caller); anything else
+                        // will issue next cycle.
+                        if !self.last_issue_all_rejected {
+                            return Some(floor);
+                        }
+                    } else if let Some(dep) = entry.dep_seq {
+                        if let Some(producer) = self.entry(dep) {
+                            match producer.state {
+                                // Operands become ready when the producer's
+                                // result lands; executing loads wake via the
+                                // hierarchy, dispatched producers via their
+                                // own enabling event (merged in their turn).
+                                EntryState::Completed => {
+                                    merge(&mut horizon, producer.completes_at)
+                                }
+                                EntryState::Executing if !producer.kind.is_load() => {
+                                    merge(&mut horizon, producer.completes_at)
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+                // Non-load execution finishes at a known cycle; loads finish
+                // when the hierarchy says so.
+                EntryState::Executing => {
+                    if !entry.kind.is_load() {
+                        merge(&mut horizon, entry.completes_at);
+                    }
+                }
+                EntryState::Completed => {}
+            }
+        }
+
+        // Defensive: a blocked front end whose branch has already completed
+        // resolves on the next tick (normally caught within the same tick).
+        if let Some(seq) = self.fetch_blocked_on {
+            if self.entry(seq).is_some_and(|e| e.state == EntryState::Completed) {
+                return Some(floor);
+            }
+        }
+        horizon
     }
 
     // --- pipeline stages -------------------------------------------------
@@ -258,6 +433,7 @@ impl<T: Iterator<Item = Instr>> OooCore<T> {
     }
 
     fn commit(&mut self, now: Cycle) {
+        let mut store_blocked = false;
         for _ in 0..self.config.commit_width {
             let Some(head) = self.rob.front() else { break };
             if head.state != EntryState::Completed || head.completes_at > now {
@@ -265,7 +441,10 @@ impl<T: Iterator<Item = Instr>> OooCore<T> {
             }
             if head.kind.is_store() {
                 if self.store_buffer.len() >= self.config.store_buffer_size {
-                    self.stats.store_buffer_stalls += 1;
+                    store_blocked = true;
+                    if self.store_stall_since.is_none() {
+                        self.store_stall_since = Some(now);
+                    }
                     break;
                 }
                 self.store_buffer
@@ -278,6 +457,13 @@ impl<T: Iterator<Item = Instr>> OooCore<T> {
             }
             self.rob.pop_front();
             self.stats.committed += 1;
+        }
+        if !store_blocked {
+            // The stall window covered every cycle from its opening through
+            // the last blocked cycle (`now - 1`); account it in one step.
+            if let Some(since) = self.store_stall_since.take() {
+                self.stats.store_buffer_stalls += now.since(since);
+            }
         }
     }
 
@@ -296,18 +482,22 @@ impl<T: Iterator<Item = Instr>> OooCore<T> {
     fn issue(&mut self, now: Cycle, memory: &mut dyn DataMemory) {
         let mut int_issued = 0;
         let mut fp_issued = 0;
+        let mut rejected: u64 = 0;
         // Loads and stores share the integer/memory issue ports in Table I.
         let int_mem_width = self.config.issue_width_int_mem;
         let fp_width = self.config.issue_width_fp;
 
-        // Oldest-first issue.
-        let seqs: Vec<u64> = self
-            .rob
-            .iter()
-            .filter(|e| e.state == EntryState::Dispatched)
-            .map(|e| e.seq)
-            .collect();
-        for seq in seqs {
+        // Oldest-first issue, swept through a reused scratch buffer (the
+        // per-cycle zero-allocation rule of DESIGN.md §9).
+        let mut seqs = std::mem::take(&mut self.seq_scratch);
+        seqs.clear();
+        seqs.extend(
+            self.rob
+                .iter()
+                .filter(|e| e.state == EntryState::Dispatched)
+                .map(|e| e.seq),
+        );
+        for &seq in &seqs {
             if int_issued >= int_mem_width && fp_issued >= fp_width {
                 break;
             }
@@ -368,12 +558,39 @@ impl<T: Iterator<Item = Instr>> OooCore<T> {
                             } else {
                                 // Hierarchy back-pressure (ports/MSHRs full):
                                 // the request id is simply never used again.
-                                self.stats.memory_reject_stalls += 1;
+                                rejected += 1;
                             }
                         }
                         _ => unreachable!("memory class covers only loads and stores"),
                     }
                 }
+            }
+        }
+        self.seq_scratch = seqs;
+
+        // A pass that issued nothing and only collected rejections will
+        // repeat itself verbatim every cycle until the hierarchy's state
+        // changes (only loads can be rejected, and a ready non-load would
+        // have issued); `next_event` uses this to defer to the hierarchy's
+        // horizon instead of reporting busy.
+        self.last_issue_all_rejected =
+            rejected > 0 && int_issued == 0 && fp_issued == 0;
+
+        // Lazy reject-stall accounting: one `(since, k)` window replays the
+        // naive per-cycle `+k` exactly (see the field docs).
+        match (self.mem_reject_since, rejected) {
+            (None, 0) => {}
+            (None, k) => self.mem_reject_since = Some((now, k)),
+            (Some((since, k)), k_now) if k_now == k => {
+                let _ = since; // unchanged window, nothing to account yet
+            }
+            (Some((since, k)), 0) => {
+                self.stats.memory_reject_stalls += now.since(since) * k;
+                self.mem_reject_since = None;
+            }
+            (Some((since, k)), k_now) => {
+                self.stats.memory_reject_stalls += now.since(since) * k;
+                self.mem_reject_since = Some((now, k_now));
             }
         }
     }
@@ -384,8 +601,18 @@ impl<T: Iterator<Item = Instr>> OooCore<T> {
         }
         for _ in 0..self.config.fetch_width {
             if self.rob.len() >= self.config.rob_size {
-                self.stats.rob_full_stalls += 1;
+                // Lazy ROB-full accounting: open the window once; every
+                // subsequent full cycle is a no-op and the cycles are summed
+                // into `rob_full_stalls` when the window closes below.
+                if self.rob_stall_since.is_none() {
+                    self.rob_stall_since = Some(now);
+                }
                 return;
+            }
+            // The ROB has room: any pending stall window ended before this
+            // cycle — account the blocked cycles `[since, now)` in one step.
+            if let Some(since) = self.rob_stall_since.take() {
+                self.stats.rob_full_stalls += now.since(since);
             }
             let Some(instr) = self.peek_or_fetch() else {
                 self.trace_exhausted = true;
@@ -435,6 +662,12 @@ impl<T: Iterator<Item = Instr>> OooCore<T> {
                 state: EntryState::Dispatched,
                 completes_at: Cycle::ZERO,
             });
+            // This entry was dispatched *after* this tick's issue pass, so
+            // that pass's everything-was-a-rejected-load analysis no longer
+            // describes the ROB: the newcomer may be ready right now and
+            // issue next cycle. Invalidate the flag so `next_event` stays
+            // busy instead of deferring to the hierarchy's horizon.
+            self.last_issue_all_rejected = false;
             if mispredicted {
                 // Wrong-path instructions are not modelled; fetch simply
                 // stops until the branch resolves and the penalty elapses.
@@ -524,6 +757,7 @@ mod tests {
             now = now.next();
         }
         assert!(core.is_finished(), "run did not converge within {max_cycles} cycles");
+        core.finalize_stats(now);
         (*core.stats(), now, mem)
     }
 
@@ -624,6 +858,63 @@ mod tests {
         assert!(ipc > 0.3 && ipc < 4.0, "IPC {ipc} out of plausible range");
         assert!(stats.loads > 3_000);
         assert!(stats.branches > 2_000);
+    }
+
+    #[test]
+    fn event_horizon_stepping_matches_naive_stepping() {
+        // Same mixed trace against the same 150-cycle memory, once stepping
+        // every cycle and once jumping to min(core, memory) horizons: the
+        // final clock and every counter must agree bit-exactly.
+        let make = || -> Vec<Instr> {
+            (0..2_000u64)
+                .map(|i| match i % 7 {
+                    0 => Instr::load(Addr(i * 256)),
+                    1 => Instr {
+                        kind: InstrKind::Branch { pc: i % 5, taken: i % 3 == 0 },
+                        addr: None,
+                        dep_distance: 1,
+                    },
+                    2 => Instr::store(Addr(i * 64)),
+                    3 => Instr {
+                        kind: InstrKind::FpAlu,
+                        addr: None,
+                        dep_distance: 2,
+                    },
+                    _ => Instr {
+                        kind: InstrKind::IntAlu,
+                        addr: None,
+                        dep_distance: 1,
+                    },
+                })
+                .collect()
+        };
+
+        let (naive_stats, naive_end, _) = run_trace(make(), 150, 3_000_000);
+
+        let mut core = OooCore::new(CoreConfig::paper(), make().into_iter()).unwrap();
+        let mut mem = FixedLatencyMemory::new(150);
+        let mut now = Cycle(0);
+        let mut jumped = false;
+        while !core.is_finished() && now.0 < 3_000_000 {
+            mem.tick(now);
+            core.tick(now, &mut mem);
+            now = if core.is_finished() {
+                now.next()
+            } else {
+                let horizon = match (mem.next_event(now), core.next_event(now)) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                let target = horizon.unwrap_or_else(|| now.next()).max(now.next());
+                jumped |= target > now.next();
+                target
+            };
+        }
+        core.finalize_stats(now);
+
+        assert!(jumped, "a 150-cycle memory must open skippable windows");
+        assert_eq!(now, naive_end, "both engines must agree on the final cycle");
+        assert_eq!(*core.stats(), naive_stats);
     }
 
     #[test]

@@ -36,6 +36,25 @@ pub trait DataMemory {
 
     /// Advances the hierarchy by one cycle.
     fn tick(&mut self, now: Cycle);
+
+    /// Earliest cycle strictly after `now` at which this hierarchy's state
+    /// can change on its own (a queued completion maturing, a buffered
+    /// message becoming forwardable, a per-cycle drain that still has work),
+    /// or `None` when the hierarchy is fully quiescent until the next
+    /// [`DataMemory::issue`].
+    ///
+    /// This is the event-horizon contract of DESIGN.md §10. The driver may
+    /// skip `now` straight to the minimum horizon across all components, so
+    /// ticking this hierarchy at any cycle in `(now, next_event(now))` must
+    /// be a complete no-op — **no component may under-report its horizon**.
+    /// Over-reporting (returning an earlier cycle than the real event, e.g.
+    /// `now + 1` while busy) is always safe and merely disables skipping.
+    ///
+    /// The default is maximally conservative — always busy — so custom
+    /// implementations degrade to per-cycle stepping until they opt in.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        Some(now.next())
+    }
 }
 
 /// Moves every response with `completed_at <= now` from `queue` to `out`
@@ -111,6 +130,13 @@ impl DataMemory for FixedLatencyMemory {
     }
 
     fn tick(&mut self, _now: Cycle) {}
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        self.in_flight
+            .iter()
+            .map(|r| r.completed_at.max(now.next()))
+            .min()
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +155,18 @@ mod tests {
         assert_eq!(first[0].id, ReqId(1));
         assert_eq!(m.completions(Cycle(14)).len(), 1);
         assert_eq!(m.accepted(), 2);
+    }
+
+    #[test]
+    fn fixed_latency_memory_reports_its_completion_horizon() {
+        let mut m = FixedLatencyMemory::new(10);
+        assert_eq!(m.next_event(Cycle(0)), None, "idle memory has no events");
+        assert!(m.issue(MemRequest::read(ReqId(1), Addr(0), Cycle(5)), Cycle(5)));
+        assert_eq!(m.next_event(Cycle(5)), Some(Cycle(15)));
+        // Already-mature completions still floor at now + 1.
+        assert_eq!(m.next_event(Cycle(40)), Some(Cycle(41)));
+        let _ = m.completions(Cycle(15));
+        assert_eq!(m.next_event(Cycle(15)), None);
     }
 
     #[test]

@@ -186,11 +186,12 @@ impl DNuca {
     pub fn access(&mut self, addr: Addr, is_write: bool, now: Cycle) -> DNucaOutcome {
         self.stats.accesses += 1;
         let col = self.bank_set(addr);
-        let rows_to_probe: Vec<usize> = (0..self.config.rows).collect();
 
+        // Rows are probed in distance order (0 = closest); iterating the
+        // range directly keeps this per-access path allocation-free.
         match self.config.search {
-            SearchPolicy::Multicast => self.access_multicast(addr, is_write, now, col, &rows_to_probe),
-            SearchPolicy::Incremental => self.access_incremental(addr, is_write, now, col, &rows_to_probe),
+            SearchPolicy::Multicast => self.access_multicast(addr, is_write, now, col),
+            SearchPolicy::Incremental => self.access_incremental(addr, is_write, now, col),
         }
     }
 
@@ -200,11 +201,10 @@ impl DNuca {
         is_write: bool,
         now: Cycle,
         col: usize,
-        rows: &[usize],
     ) -> DNucaOutcome {
         let mut hit: Option<(usize, Cycle)> = None;
         let mut worst_miss = now;
-        for &row in rows {
+        for row in 0..self.config.rows {
             let answer_at = self.probe_bank(addr, is_write, now, col, row);
             self.stats.bank_lookups += 1;
             if self.banks[col][row].contains(addr) {
@@ -228,12 +228,11 @@ impl DNuca {
         is_write: bool,
         now: Cycle,
         col: usize,
-        rows: &[usize],
     ) -> DNucaOutcome {
         // Banks are probed in order of distance; each probe starts after the
         // previous one has answered with a miss.
         let mut clock = now;
-        for &row in rows {
+        for row in 0..self.config.rows {
             let answer_at = self.probe_bank(addr, is_write, clock, col, row);
             self.stats.bank_lookups += 1;
             if self.banks[col][row].contains(addr) {

@@ -1,4 +1,5 @@
-//! The tag/state array of a set-associative cache.
+//! The tag/state array of a set-associative cache, stored as flat parallel
+//! lanes for branch-light lookups.
 
 use crate::{CacheGeometry, ReplacementPolicy};
 use lnuca_types::Addr;
@@ -22,12 +23,20 @@ pub struct EvictedLine {
     pub dirty: bool,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// Per-way state that is *not* scanned during a lookup: the dirty bit and
+/// the replacement metadata. Kept in a lane parallel to the packed tag
+/// array so the tag scan touches nothing but dense `u64` words.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct Way {
-    line: Option<Line>,
+    dirty: bool,
     last_use: u64,
     inserted: u64,
 }
+
+/// Sentinel tag marking an empty way. Real tags are `block_index >> set_shift`
+/// and can only reach `u64::MAX` for a degenerate 1-set, 1-byte-block
+/// geometry, which [`CacheArray::new`] debug-asserts against in `fill`.
+const EMPTY_TAG: u64 = u64::MAX;
 
 /// A set-associative tag/state array.
 ///
@@ -35,6 +44,19 @@ struct Way {
 /// in [`crate::ConventionalCache`] and in the L-NUCA tile model. The array is
 /// the piece shared by every cache-like structure in the workspace
 /// (conventional caches, L-NUCA tiles, D-NUCA banks).
+///
+/// # Storage layout (DESIGN.md §10)
+///
+/// Ways are stored flat, indexed by `set * ways + way`:
+///
+/// * `tags` — one packed `u64` tag per way (a sentinel word marks an
+///   empty way). A lookup is a linear scan over the set's `ways`-long slice of
+///   this lane: dense words, no `Option` discriminant, no pointer chasing.
+/// * `ways` — the parallel cold lane (dirty bit + replacement metadata),
+///   touched only on a hit or when choosing a victim.
+///
+/// Set indexing is shift/mask (`sets` is always a power of two), so the hot
+/// path performs no division.
 ///
 /// # Example
 ///
@@ -54,7 +76,18 @@ struct Way {
 pub struct CacheArray {
     geometry: CacheGeometry,
     policy: ReplacementPolicy,
-    sets: Vec<Vec<Way>>,
+    /// Packed tag lane, `sets * ways` entries, [`EMPTY_TAG`] = empty.
+    tags: Box<[u64]>,
+    /// Cold per-way lane parallel to `tags`.
+    ways: Box<[Way]>,
+    /// `log2(block_size)`: shifts an address down to its block index.
+    block_shift: u32,
+    /// `log2(sets)`: shifts a block index down to its tag.
+    set_shift: u32,
+    /// `sets - 1`: masks a block index to its set index.
+    set_mask: u64,
+    /// Ways per set (cached out of `geometry` for the hot path).
+    assoc: usize,
     tick: u64,
     resident: usize,
 }
@@ -63,21 +96,24 @@ impl CacheArray {
     /// Creates an empty array with the given geometry and replacement policy.
     #[must_use]
     pub fn new(geometry: CacheGeometry, policy: ReplacementPolicy) -> Self {
-        let sets = (0..geometry.sets())
-            .map(|_| {
-                (0..geometry.ways())
-                    .map(|_| Way {
-                        line: None,
-                        last_use: 0,
-                        inserted: 0,
-                    })
-                    .collect()
-            })
-            .collect();
+        let lines = geometry.lines();
         CacheArray {
             geometry,
             policy,
-            sets,
+            tags: vec![EMPTY_TAG; lines].into_boxed_slice(),
+            ways: vec![
+                Way {
+                    dirty: false,
+                    last_use: 0,
+                    inserted: 0,
+                };
+                lines
+            ]
+            .into_boxed_slice(),
+            block_shift: geometry.block_size().trailing_zeros(),
+            set_shift: (geometry.sets() as u64).trailing_zeros(),
+            set_mask: geometry.sets() as u64 - 1,
+            assoc: geometry.ways(),
             tick: 0,
             resident: 0,
         }
@@ -95,48 +131,60 @@ impl CacheArray {
         self.resident
     }
 
+    /// Splits an address into `(base way index of its set, tag)`.
+    #[inline]
+    fn slot(&self, addr: Addr) -> (usize, u64) {
+        let block_index = addr.0 >> self.block_shift;
+        let set = (block_index & self.set_mask) as usize;
+        (set * self.assoc, block_index >> self.set_shift)
+    }
+
+    /// Reconstructs the block base address stored in way `index`.
+    #[inline]
+    fn addr_of(&self, index: usize) -> Addr {
+        let set = (index / self.assoc) as u64;
+        Addr(((self.tags[index] << self.set_shift) | set) << self.block_shift)
+    }
+
+    /// Scans the set containing `addr`; returns the matching way index.
+    #[inline]
+    fn find(&self, addr: Addr) -> Option<usize> {
+        let (base, tag) = self.slot(addr);
+        self.tags[base..base + self.assoc]
+            .iter()
+            .position(|&t| t == tag)
+            .map(|w| base + w)
+    }
+
     /// Returns `true` if the block containing `addr` is resident, without
     /// updating recency state.
     #[must_use]
     pub fn contains(&self, addr: Addr) -> bool {
-        let set = &self.sets[self.geometry.set_index(addr)];
-        let base = addr.block_base(self.geometry.block_size());
-        set.iter().any(|w| w.line.map(|l| l.addr) == Some(base))
+        self.find(addr).is_some()
     }
 
     /// Looks up the block containing `addr`; on a hit the line's recency is
     /// refreshed and a copy of its metadata is returned.
     pub fn lookup(&mut self, addr: Addr) -> Option<Line> {
         self.tick += 1;
-        let set_index = self.geometry.set_index(addr);
-        let base = addr.block_base(self.geometry.block_size());
-        let tick = self.tick;
-        let set = &mut self.sets[set_index];
-        for way in set.iter_mut() {
-            if let Some(line) = way.line {
-                if line.addr == base {
-                    way.last_use = tick;
-                    return Some(line);
-                }
-            }
-        }
-        None
+        let index = self.find(addr)?;
+        self.ways[index].last_use = self.tick;
+        Some(Line {
+            addr: self.addr_of(index),
+            dirty: self.ways[index].dirty,
+        })
     }
 
     /// Marks the block containing `addr` dirty if it is resident. Returns
     /// `true` if the block was found.
     pub fn mark_dirty(&mut self, addr: Addr) -> bool {
-        let set_index = self.geometry.set_index(addr);
-        let base = addr.block_base(self.geometry.block_size());
-        for way in &mut self.sets[set_index] {
-            if let Some(line) = way.line.as_mut() {
-                if line.addr == base {
-                    line.dirty = true;
-                    return true;
-                }
+        match self.find(addr) {
+            Some(index) => {
+                self.ways[index].dirty = true;
+                true
             }
+            None => false,
         }
-        false
     }
 
     /// Inserts the block containing `addr` (with the given dirty state),
@@ -147,75 +195,87 @@ impl CacheArray {
     pub fn fill(&mut self, addr: Addr, dirty: bool) -> Option<EvictedLine> {
         self.tick += 1;
         let tick = self.tick;
-        let set_index = self.geometry.set_index(addr);
-        let base = addr.block_base(self.geometry.block_size());
+        let (base, tag) = self.slot(addr);
+        debug_assert_ne!(tag, EMPTY_TAG, "tag collides with the empty sentinel");
+        let set = &self.tags[base..base + self.assoc];
 
         // Already resident: refresh and merge dirtiness.
-        for way in &mut self.sets[set_index] {
-            if let Some(line) = way.line.as_mut() {
-                if line.addr == base {
-                    line.dirty |= dirty;
-                    way.last_use = tick;
-                    return None;
-                }
-            }
+        if let Some(w) = set.iter().position(|&t| t == tag) {
+            let way = &mut self.ways[base + w];
+            way.dirty |= dirty;
+            way.last_use = tick;
+            return None;
         }
 
         // Free way available.
-        if let Some(way) = self.sets[set_index].iter_mut().find(|w| w.line.is_none()) {
-            way.line = Some(Line { addr: base, dirty });
-            way.last_use = tick;
-            way.inserted = tick;
+        if let Some(w) = set.iter().position(|&t| t == EMPTY_TAG) {
+            self.tags[base + w] = tag;
+            self.ways[base + w] = Way {
+                dirty,
+                last_use: tick,
+                inserted: tick,
+            };
             self.resident += 1;
             return None;
         }
 
         // Evict a victim (streaming the way metadata keeps this hot path
         // free of temporary allocations).
-        let victim_way = self
-            .policy
-            .choose_victim_from(self.sets[set_index].iter().map(|w| (w.last_use, w.inserted)), tick);
-        let way = &mut self.sets[set_index][victim_way];
-        let victim = way.line.expect("full set has a line in every way");
-        way.line = Some(Line { addr: base, dirty });
-        way.last_use = tick;
-        way.inserted = tick;
-        Some(EvictedLine {
-            addr: victim.addr,
-            dirty: victim.dirty,
-        })
+        let victim_way = self.policy.choose_victim_from(
+            self.ways[base..base + self.assoc]
+                .iter()
+                .map(|w| (w.last_use, w.inserted)),
+            tick,
+        );
+        let index = base + victim_way;
+        let victim = EvictedLine {
+            addr: self.addr_of(index),
+            dirty: self.ways[index].dirty,
+        };
+        self.tags[index] = tag;
+        self.ways[index] = Way {
+            dirty,
+            last_use: tick,
+            inserted: tick,
+        };
+        Some(victim)
     }
 
     /// Removes the block containing `addr` from the array, returning its
     /// metadata if it was resident.
     pub fn invalidate(&mut self, addr: Addr) -> Option<Line> {
-        let set_index = self.geometry.set_index(addr);
-        let base = addr.block_base(self.geometry.block_size());
-        for way in &mut self.sets[set_index] {
-            if let Some(line) = way.line {
-                if line.addr == base {
-                    way.line = None;
-                    self.resident -= 1;
-                    return Some(line);
-                }
-            }
-        }
-        None
+        let index = self.find(addr)?;
+        let line = Line {
+            addr: self.addr_of(index),
+            dirty: self.ways[index].dirty,
+        };
+        self.tags[index] = EMPTY_TAG;
+        self.ways[index].dirty = false;
+        self.resident -= 1;
+        Some(line)
     }
 
     /// Returns `true` if the set that `addr` maps to has at least one empty
     /// way.
     #[must_use]
     pub fn has_free_way(&self, addr: Addr) -> bool {
-        let set = &self.sets[self.geometry.set_index(addr)];
-        set.iter().any(|w| w.line.is_none())
+        let (base, _) = self.slot(addr);
+        self.tags[base..base + self.assoc]
+            .iter()
+            .any(|&t| t == EMPTY_TAG)
     }
 
     /// Iterates over all resident lines (in no particular order).
-    pub fn iter(&self) -> impl Iterator<Item = &Line> + '_ {
-        self.sets
-            .iter()
-            .flat_map(|set| set.iter().filter_map(|w| w.line.as_ref()))
+    ///
+    /// Lines are yielded by value: the flat layout stores no `Line` structs
+    /// to hand out references to.
+    pub fn iter(&self) -> impl Iterator<Item = Line> + '_ {
+        self.tags.iter().enumerate().filter_map(|(index, &tag)| {
+            (tag != EMPTY_TAG).then(|| Line {
+                addr: self.addr_of(index),
+                dirty: self.ways[index].dirty,
+            })
+        })
     }
 }
 
@@ -317,6 +377,19 @@ mod tests {
         }
         assert_eq!(a.iter().count(), 8);
         Ok(())
+    }
+
+    #[test]
+    fn lookup_and_iter_reconstruct_block_base_addresses() {
+        let g = CacheGeometry::new(8 * 1024, 2, 32).unwrap();
+        let mut a = CacheArray::new(g, ReplacementPolicy::Lru);
+        let addr = Addr(0xABCD_EF13);
+        a.fill(addr, true);
+        let line = a.lookup(addr).expect("just filled");
+        assert_eq!(line.addr, addr.block_base(32));
+        assert!(line.dirty);
+        let from_iter: Vec<Line> = a.iter().collect();
+        assert_eq!(from_iter, vec![line]);
     }
 
     proptest! {

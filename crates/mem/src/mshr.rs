@@ -32,13 +32,18 @@ impl MshrAllocation {
     }
 }
 
+/// One physical MSHR slot. Dead slots keep their `waiters` allocation so a
+/// steady-state allocate/retire cycle never touches the heap (DESIGN.md §9).
 #[derive(Debug, Clone, Serialize, Deserialize)]
-struct MshrEntry {
+struct MshrSlot {
     block: Addr,
+    live: bool,
     waiters: Vec<ReqId>,
 }
 
-/// A file of miss status holding registers with secondary-miss merging.
+/// A file of miss status holding registers with secondary-miss merging,
+/// stored as a fixed array of physical slots (first-fit allocation, slot
+/// order is the deterministic sweep order).
 ///
 /// The paper's configuration (Table I) uses 16 entries for the L1 and L2,
 /// 8 for the L3, and allows 4 secondary misses per entry.
@@ -58,8 +63,9 @@ struct MshrEntry {
 /// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MshrFile {
-    entries: Vec<MshrEntry>,
-    capacity: usize,
+    /// Fixed-length slot array (`capacity` entries, live or dead).
+    slots: Vec<MshrSlot>,
+    occupancy: usize,
     secondary_per_entry: usize,
     block_size: u64,
     peak_occupancy: usize,
@@ -88,8 +94,14 @@ impl MshrFile {
             ));
         }
         Ok(MshrFile {
-            entries: Vec::with_capacity(capacity),
-            capacity,
+            slots: (0..capacity)
+                .map(|_| MshrSlot {
+                    block: Addr(0),
+                    live: false,
+                    waiters: Vec::new(),
+                })
+                .collect(),
+            occupancy: 0,
             secondary_per_entry,
             block_size,
             peak_occupancy: 0,
@@ -102,7 +114,7 @@ impl MshrFile {
     /// Number of entries currently in use.
     #[must_use]
     pub fn occupancy(&self) -> usize {
-        self.entries.len()
+        self.occupancy
     }
 
     /// Highest occupancy observed so far.
@@ -114,37 +126,38 @@ impl MshrFile {
     /// Returns `true` when no more primary misses can be accepted.
     #[must_use]
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.capacity
+        self.occupancy >= self.slots.len()
     }
 
     /// Returns `true` if a fetch for the block containing `addr` is pending.
     #[must_use]
     pub fn is_pending(&self, addr: Addr) -> bool {
         let block = addr.block_base(self.block_size);
-        self.entries.iter().any(|e| e.block == block)
+        self.slots.iter().any(|s| s.live && s.block == block)
     }
 
     /// Tries to register the miss of `req` on the block containing `addr`.
     pub fn allocate(&mut self, addr: Addr, req: ReqId) -> MshrAllocation {
         let block = addr.block_base(self.block_size);
-        if let Some(entry) = self.entries.iter_mut().find(|e| e.block == block) {
-            if entry.waiters.len() >= 1 + self.secondary_per_entry {
+        if let Some(slot) = self.slots.iter_mut().find(|s| s.live && s.block == block) {
+            if slot.waiters.len() >= 1 + self.secondary_per_entry {
                 self.rejections += 1;
                 return MshrAllocation::Full;
             }
-            entry.waiters.push(req);
+            slot.waiters.push(req);
             self.secondary_misses += 1;
             return MshrAllocation::Secondary;
         }
-        if self.entries.len() >= self.capacity {
+        let Some(slot) = self.slots.iter_mut().find(|s| !s.live) else {
             self.rejections += 1;
             return MshrAllocation::Full;
-        }
-        self.entries.push(MshrEntry {
-            block,
-            waiters: vec![req],
-        });
-        self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
+        };
+        slot.block = block;
+        slot.live = true;
+        slot.waiters.clear();
+        slot.waiters.push(req);
+        self.occupancy += 1;
+        self.peak_occupancy = self.peak_occupancy.max(self.occupancy);
         self.primary_misses += 1;
         MshrAllocation::Primary
     }
@@ -152,12 +165,36 @@ impl MshrFile {
     /// Completes the fetch of the block containing `addr`, freeing its entry
     /// and returning all requests that were waiting on it (primary first, in
     /// allocation order). Returns an empty vector if no entry matched.
+    ///
+    /// Allocating convenience over [`MshrFile::retire`] for callers that
+    /// need the waiter list; the hierarchies' per-cycle retire sweeps use
+    /// `retire`, which frees the entry without touching the heap.
     pub fn complete(&mut self, addr: Addr) -> Vec<ReqId> {
         let block = addr.block_base(self.block_size);
-        if let Some(pos) = self.entries.iter().position(|e| e.block == block) {
-            self.entries.swap_remove(pos).waiters
-        } else {
-            Vec::new()
+        match self.slots.iter_mut().find(|s| s.live && s.block == block) {
+            Some(slot) => {
+                slot.live = false;
+                self.occupancy -= 1;
+                std::mem::take(&mut slot.waiters)
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Frees the entry for the block containing `addr` without returning the
+    /// waiter list, keeping the slot's waiter allocation for reuse. Returns
+    /// the number of requests that were waiting (0 if no entry matched).
+    pub fn retire(&mut self, addr: Addr) -> usize {
+        let block = addr.block_base(self.block_size);
+        match self.slots.iter_mut().find(|s| s.live && s.block == block) {
+            Some(slot) => {
+                slot.live = false;
+                self.occupancy -= 1;
+                let waiting = slot.waiters.len();
+                slot.waiters.clear();
+                waiting
+            }
+            None => 0,
         }
     }
 
@@ -204,6 +241,19 @@ mod tests {
         assert_eq!(m.complete(Addr(0x13C)), vec![ReqId(10), ReqId(11), ReqId(12)]);
         assert_eq!(m.occupancy(), 0);
         assert!(m.complete(Addr(0x100)).is_empty());
+    }
+
+    #[test]
+    fn retire_frees_the_entry_and_reports_waiter_count() {
+        let mut m = MshrFile::new(2, 4, 64).unwrap();
+        m.allocate(Addr(0x100), ReqId(1));
+        m.allocate(Addr(0x110), ReqId(2));
+        assert_eq!(m.retire(Addr(0x100)), 2);
+        assert_eq!(m.occupancy(), 0);
+        assert!(!m.is_pending(Addr(0x100)));
+        assert_eq!(m.retire(Addr(0x100)), 0, "already retired");
+        // The freed slot is reusable immediately.
+        assert!(m.allocate(Addr(0x200), ReqId(3)).is_primary());
     }
 
     #[test]

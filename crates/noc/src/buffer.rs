@@ -1,5 +1,6 @@
 //! Two-entry buffered flow control with On/Off back-pressure.
 
+use lnuca_types::Cycle;
 use std::collections::VecDeque;
 
 /// A bounded FIFO buffer with On/Off back-pressure, as used by the L-NUCA
@@ -130,6 +131,21 @@ impl<T> OnOffBuffer<T> {
         self.entries.iter()
     }
 
+    /// Earliest cycle at which any buffered message becomes actionable,
+    /// according to the caller-supplied `ready_at` projection (e.g. the
+    /// store-and-forward `forwardable_at` stamp); `None` when the buffer is
+    /// empty.
+    ///
+    /// This is the buffer's half of the event-horizon contract (DESIGN.md
+    /// §10): a component holding `OnOffBuffer`s folds these minima into its
+    /// own `next_event`. The buffer itself never under-reports — every
+    /// message is accounted — but the *caller* must still report "busy" for
+    /// any per-cycle work it performs while messages are buffered (e.g.
+    /// stall counting on blocked forwards).
+    pub fn next_event_by<F: FnMut(&T) -> Cycle>(&self, ready_at: F) -> Option<Cycle> {
+        self.entries.iter().map(ready_at).min()
+    }
+
     /// Keeps only the messages for which `keep` returns `true`, preserving
     /// FIFO order among the survivors.
     ///
@@ -205,6 +221,17 @@ mod tests {
         assert!(b.is_on());
         assert_eq!(b.iter().copied().collect::<Vec<_>>(), vec![1, 3]);
         assert_eq!(b.pushes(), 3, "retain does not rewrite the push counter");
+    }
+
+    #[test]
+    fn next_event_by_reports_the_earliest_ready_message() {
+        let mut b: OnOffBuffer<(u32, Cycle)> = OnOffBuffer::new(3);
+        assert_eq!(b.next_event_by(|m| m.1), None);
+        b.push((1, Cycle(9))).unwrap();
+        b.push((2, Cycle(4))).unwrap();
+        assert_eq!(b.next_event_by(|m| m.1), Some(Cycle(4)));
+        b.retain(|m| m.0 != 2);
+        assert_eq!(b.next_event_by(|m| m.1), Some(Cycle(9)));
     }
 
     #[test]

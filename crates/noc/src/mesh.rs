@@ -121,6 +121,26 @@ impl WormholeMesh {
         &self.stats
     }
 
+    /// Earliest cycle strictly after `now` at which a currently-busy virtual
+    /// channel frees, or `None` when every link is already idle.
+    ///
+    /// This documents the event-horizon contract (DESIGN.md §10) for the
+    /// mesh, but the simulation engine does not need to consult it: the
+    /// mesh is a passive latency model — its state only changes through
+    /// [`WormholeMesh::traverse`], whose delays the hierarchies fold into
+    /// eagerly computed completion times — so mesh contention is already
+    /// covered by the completion horizons. Exposed for observability and
+    /// for drivers that step the mesh directly.
+    #[must_use]
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        self.vc_free_at
+            .iter()
+            .flatten()
+            .copied()
+            .filter(|&free_at| free_at > now)
+            .min()
+    }
+
     /// Manhattan hop count between two router coordinates.
     #[must_use]
     pub fn hop_count(&self, from: (usize, usize), to: (usize, usize)) -> u64 {
@@ -259,6 +279,16 @@ mod tests {
             m.stats().contention_cycles
         };
         assert!(run(4) < run(1));
+    }
+
+    #[test]
+    fn next_event_tracks_busy_virtual_channels() {
+        let mut m = mesh_4x4();
+        assert_eq!(m.next_event(Cycle(0)), None, "an unloaded mesh has no events");
+        m.traverse((0, 0), (1, 0), 4, Cycle(0));
+        let horizon = m.next_event(Cycle(0)).expect("a link is busy");
+        assert!(horizon > Cycle(0));
+        assert_eq!(m.next_event(horizon), None, "after the horizon the mesh is idle again");
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use crate::configs::{self, HierarchyKind};
 use crate::energy_model;
-use crate::system::{RunResult, System};
+use crate::system::{Engine, RunResult, System};
 use lnuca_energy::{AreaModel, PAPER_TABLE2};
 use lnuca_types::stats::harmonic_mean;
 use lnuca_types::ConfigError;
@@ -40,6 +40,11 @@ pub struct ExperimentOptions {
     /// so the results — and every summary derived from them — are identical
     /// whatever the thread count; only the wall-clock changes.
     pub threads: usize,
+    /// Time-stepping engine for every run. Like `threads`, this changes
+    /// only the wall clock: both engines are bit-identical in results
+    /// (`tests/event_horizon_determinism.rs`), so summaries never depend on
+    /// it. Recorded in the `lnuca-bench-baseline/v2` perf baseline.
+    pub engine: Engine,
 }
 
 impl Default for ExperimentOptions {
@@ -50,6 +55,7 @@ impl Default for ExperimentOptions {
             benchmarks_per_suite: None,
             lnuca_levels: vec![2, 3, 4],
             threads: 1,
+            engine: Engine::EventHorizon,
         }
     }
 }
@@ -64,6 +70,7 @@ impl ExperimentOptions {
             benchmarks_per_suite: Some(2),
             lnuca_levels: vec![2, 3],
             threads: 1,
+            engine: Engine::EventHorizon,
         }
     }
 
@@ -236,7 +243,7 @@ impl Study {
         }
         let mut results = Vec::with_capacity(jobs.len());
         let mut perf = Vec::with_capacity(jobs.len());
-        for outcome in run_jobs(&jobs, opts.instructions, opts.threads) {
+        for outcome in run_jobs(&jobs, opts.instructions, opts.threads, opts.engine) {
             let (result, run_perf) = outcome?;
             results.push(result);
             perf.push(run_perf);
@@ -393,9 +400,9 @@ struct Job<'a> {
 
 type JobOutcome = Result<(RunResult, RunPerf), ConfigError>;
 
-fn run_job(job: &Job<'_>, instructions: u64) -> JobOutcome {
+fn run_job(job: &Job<'_>, instructions: u64, engine: Engine) -> JobOutcome {
     let started = Instant::now();
-    let result = System::run_workload(job.kind, job.profile, instructions, job.seed)?;
+    let result = System::run_workload_with(engine, job.kind, job.profile, instructions, job.seed)?;
     let wall = started.elapsed();
     let wall_nanos = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
     let seconds = wall.as_secs_f64();
@@ -421,10 +428,18 @@ fn run_job(job: &Job<'_>, instructions: u64) -> JobOutcome {
 /// but the job description, so runs share no state and the outcome vector is
 /// bit-identical to a sequential execution — the workers only change which
 /// wall-clock instant each run happens at.
-fn run_jobs(jobs: &[Job<'_>], instructions: u64, threads: usize) -> Vec<JobOutcome> {
+fn run_jobs(
+    jobs: &[Job<'_>],
+    instructions: u64,
+    threads: usize,
+    engine: Engine,
+) -> Vec<JobOutcome> {
     let threads = threads.max(1).min(jobs.len().max(1));
     if threads == 1 {
-        return jobs.iter().map(|job| run_job(job, instructions)).collect();
+        return jobs
+            .iter()
+            .map(|job| run_job(job, instructions, engine))
+            .collect();
     }
 
     let next_job = AtomicUsize::new(0);
@@ -434,7 +449,7 @@ fn run_jobs(jobs: &[Job<'_>], instructions: u64, threads: usize) -> Vec<JobOutco
             scope.spawn(|| loop {
                 let i = next_job.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(i) else { break };
-                let outcome = run_job(job, instructions);
+                let outcome = run_job(job, instructions, engine);
                 *slots[i].lock().expect("no other holder can panic") = Some(outcome);
             });
         }

@@ -9,8 +9,16 @@ use lnuca_mem::{
     AccessOutcome, ConventionalCache, MainMemory, MshrAllocation, MshrFile, WriteBuffer,
 };
 use lnuca_types::{Addr, ConfigError, Cycle, MemRequest, MemResponse, ServiceLevel};
-use std::collections::BTreeMap;
 use std::collections::VecDeque;
+
+/// One in-flight block fetch: its L1 block index, when it completes and who
+/// serviced it.
+#[derive(Debug, Clone, Copy)]
+struct OutstandingFetch {
+    key: u64,
+    completion: Cycle,
+    served: ServiceLevel,
+}
 
 /// A hierarchy with a conventional (non-tiled) L1 in front of an
 /// [`OuterLevel`]: either L1 + L2 + L3 or L1 + D-NUCA.
@@ -29,10 +37,12 @@ pub struct ClassicHierarchy {
     write_buffer: WriteBuffer,
     outer: OuterLevel,
     memory: MainMemory,
-    /// Completion time and attribution of in-flight block fetches, keyed by
-    /// the L1 block index. A `BTreeMap` so the per-cycle retire sweep visits
-    /// entries in a deterministic order.
-    outstanding: BTreeMap<u64, (Cycle, ServiceLevel)>,
+    /// In-flight block fetches in a fixed array of [`configs::L1_MSHRS`]
+    /// slots, mirroring the paper's 16 physical L1 MSHRs one to one (every
+    /// entry here holds a primary-miss MSHR, so the file's capacity bounds
+    /// this array exactly). First-fit allocation and an index-order retire
+    /// sweep keep the order deterministic without any per-miss map churn.
+    outstanding: [Option<OutstandingFetch>; configs::L1_MSHRS],
     completions: VecDeque<MemResponse>,
     write_drains: u64,
 }
@@ -59,7 +69,7 @@ impl ClassicHierarchy {
                 l3: ConventionalCache::new(config.l3.clone())?,
             },
             memory: MainMemory::new(config.memory)?,
-            outstanding: BTreeMap::new(),
+            outstanding: [None; configs::L1_MSHRS],
             completions: VecDeque::new(),
             write_drains: 0,
         })
@@ -88,7 +98,7 @@ impl ClassicHierarchy {
                 dnuca: DNuca::new(config.dnuca.clone())?,
             },
             memory: MainMemory::new(config.memory)?,
-            outstanding: BTreeMap::new(),
+            outstanding: [None; configs::L1_MSHRS],
             completions: VecDeque::new(),
             write_drains: 0,
         })
@@ -121,6 +131,30 @@ impl ClassicHierarchy {
     fn block_key(&self, addr: Addr) -> u64 {
         addr.block_index(self.l1.config().block_size)
     }
+
+    /// Completion time and attribution of the in-flight fetch for `key`.
+    fn outstanding_for(&self, key: u64) -> (Cycle, ServiceLevel) {
+        self.outstanding
+            .iter()
+            .flatten()
+            .find(|f| f.key == key)
+            .map(|f| (f.completion, f.served))
+            .expect("a pending MSHR always has an outstanding-fetch slot")
+    }
+
+    /// Records an in-flight fetch in the first free slot (first fit).
+    fn record_outstanding(&mut self, key: u64, completion: Cycle, served: ServiceLevel) {
+        let slot = self
+            .outstanding
+            .iter_mut()
+            .find(|s| s.is_none())
+            .expect("the MSHR file caps primary misses at the slot count");
+        *slot = Some(OutstandingFetch {
+            key,
+            completion,
+            served,
+        });
+    }
 }
 
 impl DataMemory for ClassicHierarchy {
@@ -133,7 +167,7 @@ impl DataMemory for ClassicHierarchy {
         if self.l1_mshrs.is_pending(addr) {
             return match self.l1_mshrs.allocate(addr, req.id) {
                 MshrAllocation::Secondary | MshrAllocation::Primary => {
-                    let (completion, served) = self.outstanding[&key];
+                    let (completion, served) = self.outstanding_for(key);
                     if is_write {
                         let _ = self.write_buffer.push(addr);
                     }
@@ -179,7 +213,7 @@ impl DataMemory for ClassicHierarchy {
                 if is_write {
                     let _ = self.write_buffer.push(addr);
                 }
-                self.outstanding.insert(key, (completion, served));
+                self.record_outstanding(key, completion, served);
                 self.completions
                     .push_back(MemResponse::for_request(&req, completion, served));
                 true
@@ -192,24 +226,42 @@ impl DataMemory for ClassicHierarchy {
     }
 
     fn tick(&mut self, now: Cycle) {
-        // Retire finished fetches so their MSHR entries free up. The map is
-        // a BTreeMap so the retire order is the block-index order — stable
-        // across runs — rather than a hash order.
+        // Retire finished fetches so their MSHR entries free up, sweeping
+        // the fixed slot array in index order (stable across runs).
         let block_size = self.l1.config().block_size;
-        let l1_mshrs = &mut self.l1_mshrs;
-        self.outstanding.retain(|&key, &mut (completion, _)| {
-            if completion <= now {
-                let _ = l1_mshrs.complete(Addr(key * block_size));
-                false
-            } else {
-                true
+        for slot in &mut self.outstanding {
+            if let Some(fetch) = slot {
+                if fetch.completion <= now {
+                    let _ = self.l1_mshrs.retire(Addr(fetch.key * block_size));
+                    *slot = None;
+                }
             }
-        });
+        }
         // Drain one coalesced write per cycle toward the outer level.
         if let Some(addr) = self.write_buffer.drain_one() {
             self.outer.write_through(addr);
             self.write_drains += 1;
         }
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let floor = now.next();
+        // The write buffer drains (and dirties the outer level) every cycle
+        // it holds anything.
+        if !self.write_buffer.is_empty() {
+            return Some(floor);
+        }
+        let mut horizon: Option<Cycle> = None;
+        let merge = |cur: &mut Option<Cycle>, at: Cycle| Cycle::merge_horizon(cur, at, floor);
+        // Undelivered responses mature at their completion cycles; in-flight
+        // fetches retire (freeing MSHRs) at theirs.
+        for response in &self.completions {
+            merge(&mut horizon, response.completed_at);
+        }
+        for fetch in self.outstanding.iter().flatten() {
+            merge(&mut horizon, fetch.completion);
+        }
+        horizon
     }
 }
 

@@ -10,7 +10,7 @@ use lnuca_mem::{
     AccessOutcome, ConventionalCache, MainMemory, MshrAllocation, MshrFile, WriteBuffer,
 };
 use lnuca_types::{Addr, ConfigError, Cycle, MemRequest, MemResponse, ReqId, ServiceLevel};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// A pending search waiting for the single injection port of the Search
 /// network.
@@ -22,10 +22,17 @@ struct PendingSearch {
     ready_at: Cycle,
 }
 
-/// Requests (by originating [`ReqId`]) waiting on an in-flight block fetch,
-/// keyed by L1 block index. The original request metadata is needed to build
-/// the responses once the fabric or the outer level produces the block.
-type WaiterMap = HashMap<u64, Vec<MemRequest>>;
+/// Requests waiting on one in-flight block fetch, keyed by L1 block index.
+/// The original request metadata is needed to build the responses once the
+/// fabric or the outer level produces the block. Dead slots keep their
+/// `reqs` allocation, so the steady state allocates nothing per miss
+/// (DESIGN.md §9); one slot per L1 MSHR bounds the live set exactly.
+#[derive(Debug)]
+struct WaiterSlot {
+    key: u64,
+    live: bool,
+    reqs: Vec<MemRequest>,
+}
 
 /// An L-NUCA hierarchy: the root tile (a conventional write-through L1 with
 /// flow-control logic), the tile fabric, and an outer level (L3 or D-NUCA).
@@ -46,7 +53,7 @@ pub struct LNucaHierarchy {
     memory: MainMemory,
     write_buffer: WriteBuffer,
     pending_searches: VecDeque<PendingSearch>,
-    waiters: WaiterMap,
+    waiters: Vec<WaiterSlot>,
     completions: VecDeque<MemResponse>,
     write_drains: u64,
     // Reused per-cycle buffers for the fabric's outputs (zero-allocation
@@ -113,7 +120,13 @@ impl LNucaHierarchy {
             memory: MainMemory::new(memory)?,
             write_buffer: WriteBuffer::new(configs::WRITE_BUFFER_ENTRIES, outer_block)?,
             pending_searches: VecDeque::new(),
-            waiters: HashMap::new(),
+            waiters: (0..configs::L1_MSHRS)
+                .map(|_| WaiterSlot {
+                    key: 0,
+                    live: false,
+                    reqs: Vec::new(),
+                })
+                .collect(),
             completions: VecDeque::new(),
             write_drains: 0,
             arrival_scratch: Vec::new(),
@@ -166,12 +179,31 @@ impl LNucaHierarchy {
         }
     }
 
+    /// Appends `req` to the waiter slot for its block, reviving a dead slot
+    /// for the first waiter.
+    fn push_waiter(&mut self, key: u64, req: MemRequest) {
+        if let Some(slot) = self.waiters.iter_mut().find(|s| s.live && s.key == key) {
+            slot.reqs.push(req);
+            return;
+        }
+        let slot = self
+            .waiters
+            .iter_mut()
+            .find(|s| !s.live)
+            .expect("the MSHR file caps pending blocks at the slot count");
+        slot.key = key;
+        slot.live = true;
+        slot.reqs.clear();
+        slot.reqs.push(req);
+    }
+
     /// Completes every request waiting on `addr` with the given attribution.
     fn complete_waiters(&mut self, addr: Addr, at: Cycle, served_by: ServiceLevel) {
         let key = self.block_key(addr);
-        let _ = self.l1_mshrs.complete(addr);
-        if let Some(reqs) = self.waiters.remove(&key) {
-            for req in reqs {
+        let _ = self.l1_mshrs.retire(addr);
+        if let Some(slot) = self.waiters.iter_mut().find(|s| s.live && s.key == key) {
+            slot.live = false;
+            for req in slot.reqs.drain(..) {
                 self.completions
                     .push_back(MemResponse::for_request(&req, at, served_by));
             }
@@ -192,7 +224,7 @@ impl DataMemory for LNucaHierarchy {
                         let _ = self.write_buffer.push(addr);
                     }
                     let key = self.block_key(addr);
-                    self.waiters.entry(key).or_default().push(req);
+                    self.push_waiter(key, req);
                     true
                 }
                 MshrAllocation::Full => false,
@@ -223,7 +255,7 @@ impl DataMemory for LNucaHierarchy {
                     let _ = self.write_buffer.push(addr);
                 }
                 let key = self.block_key(addr);
-                self.waiters.entry(key).or_default().push(req);
+                self.push_waiter(key, req);
                 self.pending_searches.push_back(PendingSearch {
                     addr,
                     req: req.id,
@@ -307,6 +339,23 @@ impl DataMemory for LNucaHierarchy {
             self.outer.write_through(addr);
             self.write_drains += 1;
         }
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let floor = now.next();
+        if !self.write_buffer.is_empty() {
+            return Some(floor);
+        }
+        let mut horizon = self.fabric.next_event(now);
+        let merge = |cur: &mut Option<Cycle>, at: Cycle| Cycle::merge_horizon(cur, at, floor);
+        // The injection port retries the front search once it is ready.
+        if let Some(front) = self.pending_searches.front() {
+            merge(&mut horizon, front.ready_at);
+        }
+        for response in &self.completions {
+            merge(&mut horizon, response.completed_at);
+        }
+        horizon
     }
 }
 

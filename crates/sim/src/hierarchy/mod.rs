@@ -102,4 +102,11 @@ impl DataMemory for AnyHierarchy {
             AnyHierarchy::LNuca(h) => h.tick(now),
         }
     }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        match self {
+            AnyHierarchy::Classic(h) => h.next_event(now),
+            AnyHierarchy::LNuca(h) => h.next_event(now),
+        }
+    }
 }

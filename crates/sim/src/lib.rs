@@ -44,4 +44,4 @@ pub mod system;
 
 pub use configs::HierarchyKind;
 pub use hierarchy::{ClassicHierarchy, HierarchyStats, LNucaHierarchy};
-pub use system::{RunResult, System};
+pub use system::{Engine, RunResult, System};

@@ -9,6 +9,36 @@ use lnuca_types::{ConfigError, Cycle};
 use lnuca_workloads::{Suite, TraceGenerator, WorkloadProfile};
 use serde::{Deserialize, Serialize};
 
+/// How [`System::run_workload_with`] advances simulated time.
+///
+/// Both engines drive the same components through the same ticks and are
+/// **bit-identical** in every [`RunResult`] field — pinned by
+/// `tests/event_horizon_determinism.rs` — they differ only in how much wall
+/// clock is wasted crawling through dead cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Engine {
+    /// Advance `now` by one cycle per iteration (the reference engine).
+    CycleStep,
+    /// Jump `now` straight to the minimum [`lnuca_cpu::DataMemory::next_event`]
+    /// / [`lnuca_cpu::OooCore::next_event`] horizon whenever no component is
+    /// actively transferring, instead of single-stepping through idle time
+    /// (DESIGN.md §10).
+    #[default]
+    EventHorizon,
+}
+
+impl Engine {
+    /// Machine-readable engine name, as recorded in the
+    /// `lnuca-bench-baseline/v2` schema's `engine` field.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Engine::CycleStep => "cycle-step",
+            Engine::EventHorizon => "event-horizon",
+        }
+    }
+}
+
 /// The outcome of simulating one workload on one hierarchy.
 ///
 /// Every field is a deterministic function of (hierarchy kind, workload
@@ -72,12 +102,29 @@ impl System {
     }
 
     /// Runs `instructions` instructions of `profile` on the hierarchy
-    /// described by `kind`, with the paper's core configuration.
+    /// described by `kind`, with the paper's core configuration and the
+    /// default [`Engine::EventHorizon`] time stepping.
     ///
     /// # Errors
     ///
     /// Returns a [`ConfigError`] if any configuration is invalid.
     pub fn run_workload(
+        kind: &HierarchyKind,
+        profile: &WorkloadProfile,
+        instructions: u64,
+        seed: u64,
+    ) -> Result<RunResult, ConfigError> {
+        Self::run_workload_with(Engine::EventHorizon, kind, profile, instructions, seed)
+    }
+
+    /// Runs `instructions` instructions of `profile` on the hierarchy
+    /// described by `kind`, advancing time with the given [`Engine`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any configuration is invalid.
+    pub fn run_workload_with(
+        engine: Engine,
         kind: &HierarchyKind,
         profile: &WorkloadProfile,
         instructions: u64,
@@ -96,8 +143,30 @@ impl System {
         while !core.is_finished() && now.0 < cycle_cap {
             hierarchy.tick(now);
             core.tick(now, &mut hierarchy);
-            now = now.next();
+            now = match engine {
+                Engine::CycleStep => now.next(),
+                Engine::EventHorizon => {
+                    if core.is_finished() {
+                        // Match the reference engine's final clock exactly.
+                        now.next()
+                    } else {
+                        // Jump to the earliest cycle either side can act.
+                        // `None`+`None` means neither component will ever act
+                        // again: jump to the cap, exactly where per-cycle
+                        // stepping (all no-op ticks) would also end up.
+                        let horizon = match (hierarchy.next_event(now), core.next_event(now)) {
+                            (Some(h), Some(c)) => Some(h.min(c)),
+                            (h, c) => h.or(c),
+                        };
+                        horizon
+                            .unwrap_or(Cycle(cycle_cap))
+                            .max(now.next())
+                            .min(Cycle(cycle_cap).max(now.next()))
+                    }
+                }
+            };
         }
+        core.finalize_stats(now);
 
         let stats = hierarchy.stats();
         let energy = energy_model::account_for(&stats, now.0);

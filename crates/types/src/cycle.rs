@@ -53,6 +53,19 @@ impl Cycle {
     pub fn next(self) -> Cycle {
         Cycle(self.0 + 1)
     }
+
+    /// Folds the event time `at`, clamped to be no earlier than `floor`,
+    /// into the running minimum `horizon`.
+    ///
+    /// This is the one building block of every `next_event` implementation
+    /// (the event-horizon contract of DESIGN.md §10): horizons are minima
+    /// over per-source event times, and no reported event may precede
+    /// `floor` (= the cycle after the tick that just ran). Centralising the
+    /// clamp keeps the strictly-after-`now` rule in one place.
+    pub fn merge_horizon(horizon: &mut Option<Cycle>, at: Cycle, floor: Cycle) {
+        let at = at.max(floor);
+        *horizon = Some(horizon.map_or(at, |cur| cur.min(at)));
+    }
 }
 
 impl fmt::Display for Cycle {
@@ -132,5 +145,17 @@ mod tests {
     fn ordering_follows_time() {
         assert!(Cycle(1) < Cycle(2));
         assert!(Cycle(2) >= Cycle(2));
+    }
+
+    #[test]
+    fn merge_horizon_takes_the_floored_minimum() {
+        let floor = Cycle(10);
+        let mut horizon = None;
+        Cycle::merge_horizon(&mut horizon, Cycle(25), floor);
+        assert_eq!(horizon, Some(Cycle(25)));
+        Cycle::merge_horizon(&mut horizon, Cycle(40), floor);
+        assert_eq!(horizon, Some(Cycle(25)), "later events do not lower the minimum");
+        Cycle::merge_horizon(&mut horizon, Cycle(3), floor);
+        assert_eq!(horizon, Some(Cycle(10)), "events before the floor clamp to it");
     }
 }

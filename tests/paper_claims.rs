@@ -6,6 +6,7 @@
 
 use lnuca_suite::energy::AreaModel;
 use lnuca_suite::sim::experiments::{area_table, ExperimentOptions, Study};
+use lnuca_suite::sim::system::Engine;
 use lnuca_suite::workloads::Suite;
 
 fn reduced_options() -> ExperimentOptions {
@@ -15,6 +16,7 @@ fn reduced_options() -> ExperimentOptions {
         benchmarks_per_suite: Some(2),
         lnuca_levels: vec![2, 3],
         threads: 1,
+        engine: Engine::EventHorizon,
     }
 }
 
@@ -114,6 +116,7 @@ fn lnuca_plus_dnuca_does_not_regress() {
         benchmarks_per_suite: Some(2),
         lnuca_levels: vec![2],
         threads: 1,
+        engine: Engine::EventHorizon,
     };
     let study = Study::dnuca(&opts).expect("valid configurations");
     let ipc = study.ipc_summary();

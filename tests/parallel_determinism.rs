@@ -5,6 +5,7 @@
 //! workers only change when each run happens, never what it computes.
 
 use lnuca_suite::sim::experiments::{ExperimentOptions, Study};
+use lnuca_suite::sim::system::Engine;
 
 fn reduced_options() -> ExperimentOptions {
     ExperimentOptions {
@@ -13,6 +14,7 @@ fn reduced_options() -> ExperimentOptions {
         benchmarks_per_suite: Some(2),
         lnuca_levels: vec![2, 3],
         threads: 1,
+        engine: Engine::EventHorizon,
     }
 }
 

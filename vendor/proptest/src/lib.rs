@@ -31,6 +31,29 @@ pub trait Strategy {
 
     /// Draws one value.
     fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Maps generated values through `f` (mirrors the real crate's
+    /// `Strategy::prop_map`; no shrinking, like everything in this shim).
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strategy: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        (self.f)(self.strategy.generate(rng))
+    }
 }
 
 impl<T> Strategy for Range<T>

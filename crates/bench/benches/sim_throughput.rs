@@ -93,5 +93,30 @@ fn bench_full_system(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_fabric_tick, bench_full_system);
+/// The four adversarial access-pattern classes on the LN3 hierarchy: these
+/// stress the simulator very differently from the stationary region model
+/// (pointer chases maximise search traffic, GUPS maximises tag pressure and
+/// DRAM turnaround, phase switching churns the event horizons), so their
+/// throughput is tracked as its own bench axis.
+fn bench_adversarial_patterns(c: &mut Criterion) {
+    let kind = HierarchyKind::LNucaL3(configs::lnuca_hierarchy(3));
+    let mut group = c.benchmark_group("adversarial_10k_instructions");
+    group.sample_size(10);
+    for profile in suites::adversarial() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&profile.name),
+            &profile,
+            |b, profile| {
+                b.iter(|| {
+                    let result = System::run_workload(&kind, profile, 10_000, 1)
+                        .expect("valid configuration");
+                    black_box(result.cycles)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fabric_tick, bench_full_system, bench_adversarial_patterns);
 criterion_main!(benches);

@@ -16,7 +16,8 @@
 
 use lnuca_sim::report::format_table;
 
-/// Wall-clock drop (in percent) beyond which a configuration is flagged.
+/// Throughput (kcycles/s) drop in percent beyond which a configuration is
+/// flagged.
 const WARN_DROP_PCT: f64 = 30.0;
 
 fn main() {

@@ -10,6 +10,13 @@
 //!   traces),
 //! * `LNUCA_BENCHMARKS_PER_SUITE` — restrict each suite to its first N
 //!   benchmarks (default: all eleven),
+//! * `LNUCA_WORKLOADS` — which profiles the matrix runs over: `paper`
+//!   (default, the 22 paper benchmarks), `extended` (alias `all`:
+//!   everything the crate ships — paper + the four adversarial
+//!   access-pattern classes), `adversarial` (only those four), or a
+//!   comma-separated list of profile names resolved case-insensitively
+//!   (e.g. `int.compress,adv.gups`; unknown names abort with the valid
+//!   list),
 //! * `LNUCA_LEVELS` — comma-separated L-NUCA level counts (default `2,3,4`),
 //! * `LNUCA_SEED` — base seed for the synthetic traces (default 1),
 //! * `LNUCA_THREADS` — worker threads for the experiment matrix (default:
@@ -37,7 +44,7 @@
 
 pub mod baseline;
 
-use lnuca_sim::experiments::ExperimentOptions;
+use lnuca_sim::experiments::{ExperimentOptions, WorkloadSelection};
 use lnuca_sim::system::Engine;
 
 /// Builds [`ExperimentOptions`] from the `LNUCA_*` environment variables.
@@ -82,7 +89,41 @@ pub fn options_from_env() -> ExperimentOptions {
             ),
         }
     }
+    if let Ok(raw) = std::env::var("LNUCA_WORKLOADS") {
+        opts.workloads = parse_workloads(&raw);
+    }
     opts
+}
+
+/// Parses an `LNUCA_WORKLOADS` value: a keyword selecting a predefined set,
+/// or a comma-separated list of profile names (resolved case-insensitively
+/// by `suites::by_name` when the study runs — a typo aborts the run with
+/// the full list of valid names rather than silently simulating nothing).
+fn parse_workloads(raw: &str) -> WorkloadSelection {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "" | "paper" | "default" => WorkloadSelection::Paper,
+        "extended" | "all" => WorkloadSelection::Extended,
+        "adversarial" | "adv" => WorkloadSelection::Adversarial,
+        _ => {
+            let names: Vec<String> = raw
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_owned)
+                .collect();
+            if names.is_empty() {
+                // Only separators/whitespace: an empty Named list would
+                // silently simulate nothing, so warn and use the default.
+                eprintln!(
+                    "warning: ignoring LNUCA_WORKLOADS={raw:?}: no workload names found, \
+                     using the paper suites"
+                );
+                WorkloadSelection::Paper
+            } else {
+                WorkloadSelection::Named(names)
+            }
+        }
+    }
 }
 
 /// Parses an `LNUCA_ENGINE` value; `None` for anything unrecognised.
@@ -164,6 +205,17 @@ mod tests {
         assert_eq!(parse_engine("cycle"), Some(Engine::CycleStep));
         assert_eq!(parse_engine(" naive "), Some(Engine::CycleStep));
         assert_eq!(parse_engine("warp9"), None);
+    }
+
+    #[test]
+    fn workload_values_parse() {
+        assert_eq!(parse_workloads("paper"), WorkloadSelection::Paper);
+        assert_eq!(parse_workloads(" Extended "), WorkloadSelection::Extended);
+        assert_eq!(parse_workloads("ADV"), WorkloadSelection::Adversarial);
+        assert_eq!(
+            parse_workloads("int.compress, adv.gups"),
+            WorkloadSelection::Named(vec!["int.compress".to_owned(), "adv.gups".to_owned()])
+        );
     }
 
     #[test]

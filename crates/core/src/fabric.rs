@@ -245,6 +245,54 @@ impl LNuca {
                 .any(|b| b.iter().any(|m| m.msg.addr == base))
     }
 
+    /// Every block currently owned by the fabric, with its dirty state:
+    /// blocks resident in tiles, in flight in the Transport/Replacement
+    /// buffers, parked in pending slots, queued for root eviction, and
+    /// sitting in the undrained arrival/spill output queues.
+    ///
+    /// This is the full-custody enumeration the differential oracle in
+    /// `lnuca-verify` compares against its exclusion-set reference model:
+    /// a block handed to the fabric via [`LNuca::evict_from_root`] appears
+    /// here until it leaves through an arrival or a spill. Allocates a
+    /// fresh `Vec`; verification and tests only, never the hot loop.
+    #[must_use]
+    pub fn resident_lines(&self) -> Vec<lnuca_mem::Line> {
+        let mut lines: Vec<lnuca_mem::Line> = Vec::new();
+        for tile in &self.tiles {
+            lines.extend(tile.iter());
+        }
+        let repl = |m: &ReplMsg| lnuca_mem::Line {
+            addr: m.addr,
+            dirty: m.dirty,
+        };
+        lines.extend(self.pending_victims.iter().flatten().map(repl));
+        lines.extend(self.root_evict_queue.iter().map(repl));
+        for buf in &self.replacement_in {
+            lines.extend(buf.iter().map(|b| repl(&b.msg)));
+        }
+        for buf in &self.transport_in {
+            lines.extend(buf.iter().map(|b| lnuca_mem::Line {
+                addr: b.msg.addr,
+                dirty: b.msg.dirty,
+            }));
+        }
+        for pending in &self.pending_transport {
+            lines.extend(pending.iter().map(|b| lnuca_mem::Line {
+                addr: b.msg.addr,
+                dirty: b.msg.dirty,
+            }));
+        }
+        lines.extend(self.arrivals.iter().map(|a| lnuca_mem::Line {
+            addr: a.addr,
+            dirty: a.dirty,
+        }));
+        lines.extend(self.spills.iter().map(|s| lnuca_mem::Line {
+            addr: s.addr,
+            dirty: s.dirty,
+        }));
+        lines
+    }
+
     /// Removes the block containing `addr` from every tile and buffer
     /// (needed to enforce inclusion/coherence invalidations from the next
     /// cache level). Returns `true` if anything was removed.

@@ -170,6 +170,20 @@ impl DNuca {
         self.banks[col].iter().any(|b| b.contains(addr))
     }
 
+    /// Every resident line, tagged with its `(col, row)` bank coordinates —
+    /// the final-residency enumeration the differential oracle compares.
+    /// Allocates a fresh `Vec`; verification and tests only.
+    #[must_use]
+    pub fn resident_lines(&self) -> Vec<(usize, usize, lnuca_mem::Line)> {
+        let mut out = Vec::new();
+        for (col, rows) in self.banks.iter().enumerate() {
+            for (row, bank) in rows.iter().enumerate() {
+                out.extend(bank.iter().map(|line| (col, row, line)));
+            }
+        }
+        out
+    }
+
     /// Column (sparse bank set) that `addr` maps to.
     #[must_use]
     pub fn bank_set(&self, addr: Addr) -> usize {

@@ -354,6 +354,12 @@ impl ConventionalCache {
         self.array.resident()
     }
 
+    /// Iterates over all resident lines (in no particular order) — the
+    /// final-residency enumeration the differential oracle compares.
+    pub fn lines(&self) -> impl Iterator<Item = crate::Line> + '_ {
+        self.array.iter()
+    }
+
     /// Earliest cycle, not before `now`, at which a port can start an access.
     #[must_use]
     pub fn next_port_available(&self, now: Cycle) -> Cycle {

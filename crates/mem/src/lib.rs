@@ -10,7 +10,10 @@
 //! * [`WriteBuffer`] — a coalescing write buffer,
 //! * [`ConventionalCache`] — a timed set-associative cache (completion and
 //!   initiation latencies, serial/parallel access, write-through/copy-back),
-//! * [`MainMemory`] — the DRAM model (first chunk + inter-chunk latency).
+//! * [`MainMemory`] — the DRAM model (first chunk + inter-chunk latency),
+//! * [`probe`] — the [`ProbeSink`] instrumentation hooks the hierarchies in
+//!   `lnuca-sim` report functional state transitions through (no-op by
+//!   default; the differential oracle in `lnuca-verify` records them).
 //!
 //! # Example
 //!
@@ -40,10 +43,12 @@ pub mod cache;
 pub mod dram;
 pub mod geometry;
 pub mod mshr;
+pub mod probe;
 pub mod replacement;
 pub mod write_buffer;
 
 pub use array::{CacheArray, EvictedLine, Line};
+pub use probe::{AccessClass, CountingProbe, NoProbe, ProbeEvent, ProbeSink};
 pub use cache::{
     AccessMode, AccessOutcome, CacheConfig, CacheConfigBuilder, CacheStats, ConventionalCache,
     WritePolicy,

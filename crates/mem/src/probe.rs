@@ -1,0 +1,215 @@
+//! Instrumentation hooks for differential verification.
+//!
+//! The hierarchies in `lnuca-sim` report every *functional* state transition
+//! — demand accesses, outer-level fetches, fabric hits, victims, spills and
+//! write-buffer drains — through a [`ProbeSink`]. The `lnuca-verify` crate
+//! replays the recorded event stream through a timing-free reference model
+//! and asserts that the detailed simulator computed the same cache contents.
+//!
+//! # Probe rules (DESIGN.md §11)
+//!
+//! * **Probes must stay allocation-free.** [`ProbeEvent`] is `Copy` and a
+//!   sink's [`ProbeSink::record`] runs inside the per-cycle hot loops; the
+//!   default [`NoProbe`] sink is an empty inline function, so probed code
+//!   monomorphises to exactly the un-probed code in normal runs and the
+//!   zero-allocation counting tests (`crates/core/tests/zero_alloc.rs`,
+//!   `crates/sim/tests/zero_alloc.rs`) keep passing.
+//! * **Probes must not perturb timing.** A sink only observes; it must never
+//!   feed anything back into the component that calls it, so the
+//!   event-horizon contract of DESIGN.md §10 is unaffected by probing.
+//! * **Events fire in functional order.** A hierarchy emits events in
+//!   exactly the order its caches change state; the reference model relies
+//!   on this to replay the run without modelling time.
+
+use crate::cache::CacheStats;
+use lnuca_types::{Addr, ServiceLevel};
+
+/// Classification of one demand access at the first level (L1 / root tile).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessClass {
+    /// The block was resident in the first level.
+    Hit,
+    /// The block missed and the fetch resolved synchronously at the given
+    /// level (the `ClassicHierarchy` path: L2/L3/D-NUCA/memory chain).
+    Miss(ServiceLevel),
+    /// The block missed and a fabric search was launched; the outcome
+    /// arrives later as [`ProbeEvent::FabricHit`] or
+    /// [`ProbeEvent::OuterFetch`] (the `LNucaHierarchy` path).
+    MissLaunched,
+    /// The access merged into an already-in-flight fetch of the same block
+    /// (a secondary miss): no cache state was touched.
+    Merged,
+}
+
+/// One functional state transition reported by a hierarchy.
+///
+/// Every variant is `Copy` and carries raw (unaligned) addresses; consumers
+/// normalise to block bases with their own geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeEvent {
+    /// A demand access offered to the first level by the core.
+    Access {
+        /// Requested address.
+        addr: Addr,
+        /// `true` for stores.
+        is_write: bool,
+        /// What the first level decided.
+        class: AccessClass,
+    },
+    /// A fabric hit delivered to the root tile (the block leaves the fabric
+    /// and is filled into the root).
+    FabricHit {
+        /// Block address.
+        addr: Addr,
+        /// L-NUCA level (2-based) whose tile serviced the hit.
+        level: u8,
+        /// Whether the block travelled dirty.
+        dirty: bool,
+    },
+    /// A global fabric miss forwarded to the outer level (L3 or D-NUCA),
+    /// which resolved it at `served`.
+    OuterFetch {
+        /// Block address.
+        addr: Addr,
+        /// `true` when the original demand access was a store.
+        is_write: bool,
+        /// Component that provided the block.
+        served: ServiceLevel,
+    },
+    /// A victim displaced from the root tile into the Replacement network.
+    RootVictim {
+        /// Block address of the victim.
+        addr: Addr,
+        /// Whether the victim was dirty.
+        dirty: bool,
+    },
+    /// A block spilled out of the outermost fabric tiles.
+    Spill {
+        /// Block address.
+        addr: Addr,
+        /// Whether the spilled block was dirty.
+        dirty: bool,
+    },
+    /// One coalesced write drained from the write buffer toward the outer
+    /// level (which marks the block dirty where it resides).
+    WriteDrain {
+        /// Block address of the drained write.
+        addr: Addr,
+    },
+}
+
+/// A consumer of [`ProbeEvent`]s.
+///
+/// Implementations must be allocation-free when used inside simulation hot
+/// loops unless they are verification-only sinks (a recording sink that
+/// grows a `Vec` is fine in `lnuca-verify`, which never asserts the
+/// zero-allocation invariant).
+pub trait ProbeSink {
+    /// Observes one event. Called at the exact point the corresponding
+    /// functional state transition happens.
+    fn record(&mut self, event: ProbeEvent);
+}
+
+/// The default sink: does nothing, compiles to nothing.
+///
+/// Hierarchies are generic over their sink with `NoProbe` as the default
+/// type parameter, so un-probed builds monomorphise every `record` call to
+/// an empty inline function.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoProbe;
+
+impl ProbeSink for NoProbe {
+    #[inline(always)]
+    fn record(&mut self, _event: ProbeEvent) {}
+}
+
+/// A sink that keeps nothing but per-class totals — handy for smoke tests
+/// and cheap sanity assertions without recording whole event streams.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingProbe {
+    /// Demand accesses that hit the first level.
+    pub hits: u64,
+    /// Demand accesses that missed (both synchronous and launched).
+    pub misses: u64,
+    /// Demand accesses merged into in-flight fetches.
+    pub merged: u64,
+    /// Fabric hits delivered to the root tile.
+    pub fabric_hits: u64,
+    /// Outer-level fetches (global misses for fabric hierarchies).
+    pub outer_fetches: u64,
+    /// Root-tile victims handed to the fabric.
+    pub root_victims: u64,
+    /// Fabric spills.
+    pub spills: u64,
+    /// Write-buffer drains.
+    pub write_drains: u64,
+}
+
+impl CountingProbe {
+    /// Cross-checks the totals against a first-level [`CacheStats`]:
+    /// the probed hit/miss split must equal the cache's own counters.
+    #[must_use]
+    pub fn matches_first_level(&self, stats: &CacheStats) -> bool {
+        self.hits == stats.hits() && self.misses == stats.misses()
+    }
+}
+
+impl ProbeSink for CountingProbe {
+    #[inline]
+    fn record(&mut self, event: ProbeEvent) {
+        match event {
+            ProbeEvent::Access { class, .. } => match class {
+                AccessClass::Hit => self.hits += 1,
+                AccessClass::Miss(_) | AccessClass::MissLaunched => self.misses += 1,
+                AccessClass::Merged => self.merged += 1,
+            },
+            ProbeEvent::FabricHit { .. } => self.fabric_hits += 1,
+            ProbeEvent::OuterFetch { .. } => self.outer_fetches += 1,
+            ProbeEvent::RootVictim { .. } => self.root_victims += 1,
+            ProbeEvent::Spill { .. } => self.spills += 1,
+            ProbeEvent::WriteDrain { .. } => self.write_drains += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_probe_buckets_events() {
+        let mut p = CountingProbe::default();
+        p.record(ProbeEvent::Access {
+            addr: Addr(0x40),
+            is_write: false,
+            class: AccessClass::Hit,
+        });
+        p.record(ProbeEvent::Access {
+            addr: Addr(0x80),
+            is_write: true,
+            class: AccessClass::Miss(ServiceLevel::L2),
+        });
+        p.record(ProbeEvent::Access {
+            addr: Addr(0xC0),
+            is_write: false,
+            class: AccessClass::MissLaunched,
+        });
+        p.record(ProbeEvent::Access {
+            addr: Addr(0xC4),
+            is_write: false,
+            class: AccessClass::Merged,
+        });
+        p.record(ProbeEvent::WriteDrain { addr: Addr(0x80) });
+        assert_eq!((p.hits, p.misses, p.merged, p.write_drains), (1, 2, 1, 1));
+    }
+
+    #[test]
+    fn no_probe_is_a_no_op() {
+        let mut sink = NoProbe;
+        sink.record(ProbeEvent::Spill {
+            addr: Addr(0),
+            dirty: false,
+        });
+        assert_eq!(sink, NoProbe);
+    }
+}

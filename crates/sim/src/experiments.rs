@@ -24,6 +24,23 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+/// Which workload profiles an experiment matrix runs over.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum WorkloadSelection {
+    /// The paper's 22 synthetic benchmarks (11 INT-like + 11 FP-like).
+    #[default]
+    Paper,
+    /// The paper suites plus the four adversarial access-pattern classes
+    /// (`suites::adversarial`): pointer chase, strided streaming, GUPS and
+    /// phase mix.
+    Extended,
+    /// Only the four adversarial access-pattern classes.
+    Adversarial,
+    /// Explicit profile names, resolved case-insensitively through
+    /// `suites::by_name` (unknown names fail loudly with the valid list).
+    Named(Vec<String>),
+}
+
 /// Knobs shared by every experiment.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExperimentOptions {
@@ -33,6 +50,8 @@ pub struct ExperimentOptions {
     pub seed: u64,
     /// Restrict each suite to its first N benchmarks (None = all eleven).
     pub benchmarks_per_suite: Option<usize>,
+    /// Which workload profiles to run the matrix over.
+    pub workloads: WorkloadSelection,
     /// L-NUCA level counts to evaluate (the paper uses 2, 3 and 4).
     pub lnuca_levels: Vec<u8>,
     /// Worker threads running the configuration × benchmark matrix
@@ -53,6 +72,7 @@ impl Default for ExperimentOptions {
             instructions: 200_000,
             seed: 1,
             benchmarks_per_suite: None,
+            workloads: WorkloadSelection::Paper,
             lnuca_levels: vec![2, 3, 4],
             threads: 1,
             engine: Engine::EventHorizon,
@@ -68,20 +88,46 @@ impl ExperimentOptions {
             instructions: 5_000,
             seed: 1,
             benchmarks_per_suite: Some(2),
+            workloads: WorkloadSelection::Paper,
             lnuca_levels: vec![2, 3],
             threads: 1,
             engine: Engine::EventHorizon,
         }
     }
 
-    fn workloads(&self) -> Vec<WorkloadProfile> {
-        let take = |v: Vec<WorkloadProfile>| match self.benchmarks_per_suite {
-            Some(n) => v.into_iter().take(n).collect(),
-            None => v,
+    fn workloads(&self) -> Result<Vec<WorkloadProfile>, ConfigError> {
+        let take = |v: Vec<WorkloadProfile>| -> Vec<WorkloadProfile> {
+            match self.benchmarks_per_suite {
+                Some(n) => v.into_iter().take(n).collect(),
+                None => v,
+            }
         };
-        let mut all = take(suites::spec_int_like());
-        all.extend(take(suites::spec_fp_like()));
-        all
+        let paper = || {
+            let mut all = take(suites::spec_int_like());
+            all.extend(take(suites::spec_fp_like()));
+            all
+        };
+        Ok(match &self.workloads {
+            WorkloadSelection::Paper => paper(),
+            WorkloadSelection::Extended => {
+                let mut all = paper();
+                all.extend(take(suites::adversarial()));
+                all
+            }
+            WorkloadSelection::Adversarial => take(suites::adversarial()),
+            WorkloadSelection::Named(names) => {
+                if names.is_empty() {
+                    return Err(ConfigError::new(
+                        "workloads",
+                        "Named selection lists no workloads; the matrix would be empty",
+                    ));
+                }
+                names
+                    .iter()
+                    .map(|name| suites::by_name(name))
+                    .collect::<Result<Vec<_>, _>>()?
+            }
+        })
     }
 }
 
@@ -228,7 +274,7 @@ impl Study {
     }
 
     fn run(kinds: Vec<HierarchyKind>, opts: &ExperimentOptions) -> Result<Self, ConfigError> {
-        let workloads = opts.workloads();
+        let workloads = opts.workloads()?;
         let baseline = kinds[0].label();
         let configs: Vec<String> = kinds.iter().map(HierarchyKind::label).collect();
         let mut jobs = Vec::with_capacity(kinds.len() * workloads.len());
@@ -593,6 +639,46 @@ mod tests {
         assert!(ipc.iter().all(|r| r.int_ipc > 0.0));
         let energy = study.energy_summary();
         assert!((energy[0].total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn workload_selection_steers_the_matrix() {
+        let mut opts = ExperimentOptions::quick();
+        opts.instructions = 1_000;
+        opts.lnuca_levels = vec![2];
+        opts.benchmarks_per_suite = None;
+
+        opts.workloads = WorkloadSelection::Adversarial;
+        let adv = Study::conventional(&opts).unwrap();
+        // 2 configs x 4 adversarial classes.
+        assert_eq!(adv.results.len(), 2 * 4);
+        assert!(adv.results.iter().any(|r| r.workload == "adv.pointer_chase"));
+
+        opts.workloads = WorkloadSelection::Named(vec![
+            "ADV.GUPS".to_owned(),
+            "int.compress".to_owned(),
+        ]);
+        let named = Study::conventional(&opts).unwrap();
+        assert_eq!(named.results.len(), 2 * 2);
+        assert_eq!(named.results[0].workload, "adv.gups", "names resolve case-insensitively");
+
+        opts.workloads = WorkloadSelection::Named(vec!["no.such.workload".to_owned()]);
+        let err = Study::conventional(&opts).unwrap_err().to_string();
+        assert!(err.contains("no.such.workload"));
+        assert!(err.contains("adv.phase_mix"), "error lists the valid names: {err}");
+    }
+
+    #[test]
+    fn extended_selection_appends_the_adversarial_classes() {
+        let mut opts = ExperimentOptions::quick();
+        opts.instructions = 500;
+        opts.lnuca_levels = vec![2];
+        opts.benchmarks_per_suite = Some(1);
+        opts.workloads = WorkloadSelection::Extended;
+        let study = Study::conventional(&opts).unwrap();
+        // 2 configs x (1 INT + 1 FP + 1 adversarial) — the per-suite cap
+        // applies to the adversarial group too.
+        assert_eq!(study.results.len(), 2 * 3);
     }
 
     #[test]

@@ -6,7 +6,8 @@ use crate::hierarchy::{HierarchyStats, OuterLevel};
 use lnuca_cpu::DataMemory;
 use lnuca_dnuca::DNuca;
 use lnuca_mem::{
-    AccessOutcome, ConventionalCache, MainMemory, MshrAllocation, MshrFile, WriteBuffer,
+    AccessClass, AccessOutcome, ConventionalCache, MainMemory, MshrAllocation, MshrFile, NoProbe,
+    ProbeEvent, ProbeSink, WriteBuffer,
 };
 use lnuca_types::{Addr, ConfigError, Cycle, MemRequest, MemResponse, ServiceLevel};
 use std::collections::VecDeque;
@@ -29,14 +30,19 @@ struct OutstandingFetch {
 /// Table I. Misses allocate one of the 16 L1 MSHRs; when all are busy the
 /// request is rejected and the core retries, which is how limited
 /// memory-level parallelism is enforced.
+///
+/// The hierarchy is generic over a [`ProbeSink`] through which it reports
+/// every functional state transition; the default [`NoProbe`] compiles the
+/// instrumentation away entirely (DESIGN.md §11).
 #[derive(Debug)]
-pub struct ClassicHierarchy {
+pub struct ClassicHierarchy<P: ProbeSink = NoProbe> {
     label: String,
     l1: ConventionalCache,
     l1_mshrs: MshrFile,
     write_buffer: WriteBuffer,
     outer: OuterLevel,
     memory: MainMemory,
+    probe: P,
     /// In-flight block fetches in a fixed array of [`configs::L1_MSHRS`]
     /// slots, mirroring the paper's 16 physical L1 MSHRs one to one (every
     /// entry here holds a primary-miss MSHR, so the file's capacity bounds
@@ -48,12 +54,35 @@ pub struct ClassicHierarchy {
 }
 
 impl ClassicHierarchy {
-    /// Builds the conventional three-level hierarchy (`L2-256KB` baseline).
+    /// Builds the conventional three-level hierarchy (`L2-256KB` baseline)
+    /// without instrumentation.
     ///
     /// # Errors
     ///
     /// Returns a [`ConfigError`] if any component configuration is invalid.
     pub fn conventional(config: &ConventionalConfig) -> Result<Self, ConfigError> {
+        Self::conventional_probed(config, NoProbe)
+    }
+
+    /// Builds the L1 + D-NUCA hierarchy (`DN-4x8` baseline) without
+    /// instrumentation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any component configuration is invalid.
+    pub fn dnuca(config: &DNucaOnlyConfig) -> Result<Self, ConfigError> {
+        Self::dnuca_probed(config, NoProbe)
+    }
+}
+
+impl<P: ProbeSink> ClassicHierarchy<P> {
+    /// Builds the conventional three-level hierarchy reporting functional
+    /// transitions to `probe`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any component configuration is invalid.
+    pub fn conventional_probed(config: &ConventionalConfig, probe: P) -> Result<Self, ConfigError> {
         let label = crate::configs::HierarchyKind::Conventional(config.clone()).label();
         Ok(ClassicHierarchy {
             label,
@@ -69,18 +98,20 @@ impl ClassicHierarchy {
                 l3: ConventionalCache::new(config.l3.clone())?,
             },
             memory: MainMemory::new(config.memory)?,
+            probe,
             outstanding: [None; configs::L1_MSHRS],
             completions: VecDeque::new(),
             write_drains: 0,
         })
     }
 
-    /// Builds the L1 + D-NUCA hierarchy (`DN-4x8` baseline).
+    /// Builds the L1 + D-NUCA hierarchy reporting functional transitions to
+    /// `probe`.
     ///
     /// # Errors
     ///
     /// Returns a [`ConfigError`] if any component configuration is invalid.
-    pub fn dnuca(config: &DNucaOnlyConfig) -> Result<Self, ConfigError> {
+    pub fn dnuca_probed(config: &DNucaOnlyConfig, probe: P) -> Result<Self, ConfigError> {
         let label = crate::configs::HierarchyKind::DNuca(config.clone()).label();
         Ok(ClassicHierarchy {
             label,
@@ -98,10 +129,35 @@ impl ClassicHierarchy {
                 dnuca: DNuca::new(config.dnuca.clone())?,
             },
             memory: MainMemory::new(config.memory)?,
+            probe,
             outstanding: [None; configs::L1_MSHRS],
             completions: VecDeque::new(),
             write_drains: 0,
         })
+    }
+
+    /// The probe sink (for reading back recorded events).
+    #[must_use]
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Consumes the hierarchy, returning the probe sink.
+    #[must_use]
+    pub fn into_probe(self) -> P {
+        self.probe
+    }
+
+    /// The L1 cache (exposed for residency enumeration in verification).
+    #[must_use]
+    pub fn l1(&self) -> &ConventionalCache {
+        &self.l1
+    }
+
+    /// The outer level (exposed for residency enumeration in verification).
+    #[must_use]
+    pub fn outer(&self) -> &OuterLevel {
+        &self.outer
     }
 
     /// Snapshot of the accumulated statistics.
@@ -157,7 +213,7 @@ impl ClassicHierarchy {
     }
 }
 
-impl DataMemory for ClassicHierarchy {
+impl<P: ProbeSink> DataMemory for ClassicHierarchy<P> {
     fn issue(&mut self, req: MemRequest, now: Cycle) -> bool {
         let addr = req.addr;
         let is_write = req.kind.is_write();
@@ -171,6 +227,11 @@ impl DataMemory for ClassicHierarchy {
                     if is_write {
                         let _ = self.write_buffer.push(addr);
                     }
+                    self.probe.record(ProbeEvent::Access {
+                        addr,
+                        is_write,
+                        class: AccessClass::Merged,
+                    });
                     self.completions.push_back(MemResponse::for_request(
                         &req,
                         completion.max(now),
@@ -193,6 +254,11 @@ impl DataMemory for ClassicHierarchy {
                 if is_write {
                     let _ = self.write_buffer.push(addr);
                 }
+                self.probe.record(ProbeEvent::Access {
+                    addr,
+                    is_write,
+                    class: AccessClass::Hit,
+                });
                 self.completions
                     .push_back(MemResponse::for_request(&req, ready_at, ServiceLevel::L1));
                 true
@@ -213,6 +279,11 @@ impl DataMemory for ClassicHierarchy {
                 if is_write {
                     let _ = self.write_buffer.push(addr);
                 }
+                self.probe.record(ProbeEvent::Access {
+                    addr,
+                    is_write,
+                    class: AccessClass::Miss(served),
+                });
                 self.record_outstanding(key, completion, served);
                 self.completions
                     .push_back(MemResponse::for_request(&req, completion, served));
@@ -240,6 +311,7 @@ impl DataMemory for ClassicHierarchy {
         // Drain one coalesced write per cycle toward the outer level.
         if let Some(addr) = self.write_buffer.drain_one() {
             self.outer.write_through(addr);
+            self.probe.record(ProbeEvent::WriteDrain { addr });
             self.write_drains += 1;
         }
     }

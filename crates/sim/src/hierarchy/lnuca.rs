@@ -7,7 +7,8 @@ use lnuca_core::LNuca;
 use lnuca_cpu::DataMemory;
 use lnuca_dnuca::DNuca;
 use lnuca_mem::{
-    AccessOutcome, ConventionalCache, MainMemory, MshrAllocation, MshrFile, WriteBuffer,
+    AccessClass, AccessOutcome, ConventionalCache, MainMemory, MshrAllocation, MshrFile, NoProbe,
+    ProbeEvent, ProbeSink, WriteBuffer,
 };
 use lnuca_types::{Addr, ConfigError, Cycle, MemRequest, MemResponse, ReqId, ServiceLevel};
 use std::collections::VecDeque;
@@ -43,9 +44,14 @@ struct WaiterSlot {
 /// the Replacement network — the distributed-victim-cache behaviour at the
 /// heart of the paper. Global misses are forwarded to the outer level, and
 /// blocks spilled by the outermost tiles are written back there when dirty.
+///
+/// The hierarchy is generic over a [`ProbeSink`] through which it reports
+/// every functional state transition; the default [`NoProbe`] compiles the
+/// instrumentation away entirely (DESIGN.md §11).
 #[derive(Debug)]
-pub struct LNucaHierarchy {
+pub struct LNucaHierarchy<P: ProbeSink = NoProbe> {
     label: String,
+    probe: P,
     l1: ConventionalCache,
     l1_mshrs: MshrFile,
     fabric: LNuca,
@@ -65,15 +71,39 @@ pub struct LNucaHierarchy {
 }
 
 impl LNucaHierarchy {
-    /// Builds the L-NUCA + L3 hierarchy (`LNx` configurations of Fig. 4).
+    /// Builds the L-NUCA + L3 hierarchy (`LNx` configurations of Fig. 4)
+    /// without instrumentation.
     ///
     /// # Errors
     ///
     /// Returns a [`ConfigError`] if any component configuration is invalid.
     pub fn with_l3(config: &LNucaL3Config) -> Result<Self, ConfigError> {
+        Self::with_l3_probed(config, NoProbe)
+    }
+
+    /// Builds the L-NUCA + D-NUCA hierarchy (`LNx + DN-4x8` of Fig. 5)
+    /// without instrumentation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any component configuration is invalid.
+    pub fn with_dnuca(config: &LNucaDNucaConfig) -> Result<Self, ConfigError> {
+        Self::with_dnuca_probed(config, NoProbe)
+    }
+}
+
+impl<P: ProbeSink> LNucaHierarchy<P> {
+    /// Builds the L-NUCA + L3 hierarchy reporting functional transitions to
+    /// `probe`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any component configuration is invalid.
+    pub fn with_l3_probed(config: &LNucaL3Config, probe: P) -> Result<Self, ConfigError> {
         let label = crate::configs::HierarchyKind::LNucaL3(config.clone()).label();
         Self::build(
             label,
+            probe,
             &config.l1,
             config.lnuca.clone(),
             OuterLevel::L3Only {
@@ -84,15 +114,17 @@ impl LNucaHierarchy {
         )
     }
 
-    /// Builds the L-NUCA + D-NUCA hierarchy (`LNx + DN-4x8` of Fig. 5).
+    /// Builds the L-NUCA + D-NUCA hierarchy reporting functional transitions
+    /// to `probe`.
     ///
     /// # Errors
     ///
     /// Returns a [`ConfigError`] if any component configuration is invalid.
-    pub fn with_dnuca(config: &LNucaDNucaConfig) -> Result<Self, ConfigError> {
+    pub fn with_dnuca_probed(config: &LNucaDNucaConfig, probe: P) -> Result<Self, ConfigError> {
         let label = crate::configs::HierarchyKind::LNucaDNuca(config.clone()).label();
         Self::build(
             label,
+            probe,
             &config.l1,
             config.lnuca.clone(),
             OuterLevel::DNuca {
@@ -105,6 +137,7 @@ impl LNucaHierarchy {
 
     fn build(
         label: String,
+        probe: P,
         l1: &lnuca_mem::CacheConfig,
         lnuca: lnuca_core::LNucaConfig,
         outer: OuterLevel,
@@ -113,6 +146,7 @@ impl LNucaHierarchy {
     ) -> Result<Self, ConfigError> {
         Ok(LNucaHierarchy {
             label,
+            probe,
             l1: ConventionalCache::new(l1.clone())?,
             l1_mshrs: MshrFile::new(configs::L1_MSHRS, configs::MSHR_SECONDARY, l1.block_size)?,
             fabric: LNuca::new(lnuca)?,
@@ -165,6 +199,31 @@ impl LNucaHierarchy {
         &self.fabric
     }
 
+    /// The probe sink (for reading back recorded events).
+    #[must_use]
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Consumes the hierarchy, returning the probe sink.
+    #[must_use]
+    pub fn into_probe(self) -> P {
+        self.probe
+    }
+
+    /// The root tile / L1 (exposed for residency enumeration in
+    /// verification).
+    #[must_use]
+    pub fn l1(&self) -> &ConventionalCache {
+        &self.l1
+    }
+
+    /// The outer level (exposed for residency enumeration in verification).
+    #[must_use]
+    pub fn outer(&self) -> &OuterLevel {
+        &self.outer
+    }
+
     fn block_key(&self, addr: Addr) -> u64 {
         addr.block_index(self.l1.config().block_size)
     }
@@ -175,6 +234,10 @@ impl LNucaHierarchy {
         if let Some(victim) = self.l1.fill(addr, false) {
             // The root tile is write-through, so its victims are clean; the
             // fabric still receives them to act as a victim cache.
+            self.probe.record(ProbeEvent::RootVictim {
+                addr: victim.addr,
+                dirty: victim.dirty,
+            });
             self.fabric.evict_from_root(victim.addr, victim.dirty);
         }
     }
@@ -211,7 +274,7 @@ impl LNucaHierarchy {
     }
 }
 
-impl DataMemory for LNucaHierarchy {
+impl<P: ProbeSink> DataMemory for LNucaHierarchy<P> {
     fn issue(&mut self, req: MemRequest, now: Cycle) -> bool {
         let addr = req.addr;
         let is_write = req.kind.is_write();
@@ -223,6 +286,11 @@ impl DataMemory for LNucaHierarchy {
                     if is_write {
                         let _ = self.write_buffer.push(addr);
                     }
+                    self.probe.record(ProbeEvent::Access {
+                        addr,
+                        is_write,
+                        class: AccessClass::Merged,
+                    });
                     let key = self.block_key(addr);
                     self.push_waiter(key, req);
                     true
@@ -240,6 +308,11 @@ impl DataMemory for LNucaHierarchy {
                 if is_write {
                     let _ = self.write_buffer.push(addr);
                 }
+                self.probe.record(ProbeEvent::Access {
+                    addr,
+                    is_write,
+                    class: AccessClass::Hit,
+                });
                 self.completions
                     .push_back(MemResponse::for_request(&req, ready_at, ServiceLevel::L1));
                 true
@@ -254,6 +327,11 @@ impl DataMemory for LNucaHierarchy {
                 if is_write {
                     let _ = self.write_buffer.push(addr);
                 }
+                self.probe.record(ProbeEvent::Access {
+                    addr,
+                    is_write,
+                    class: AccessClass::MissLaunched,
+                });
                 let key = self.block_key(addr);
                 self.push_waiter(key, req);
                 self.pending_searches.push_back(PendingSearch {
@@ -285,6 +363,11 @@ impl DataMemory for LNucaHierarchy {
                 // was holding is pushed toward the outer level.
                 let _ = self.write_buffer.push(arrival.addr);
             }
+            self.probe.record(ProbeEvent::FabricHit {
+                addr: arrival.addr,
+                level: arrival.hit_level,
+                dirty: arrival.dirty,
+            });
             self.fill_root(arrival.addr);
             self.complete_waiters(
                 arrival.addr,
@@ -302,6 +385,11 @@ impl DataMemory for LNucaHierarchy {
             let (completion, served) =
                 self.outer
                     .fetch(miss.addr, miss.is_write, miss.determined_at, &mut self.memory);
+            self.probe.record(ProbeEvent::OuterFetch {
+                addr: miss.addr,
+                is_write: miss.is_write,
+                served,
+            });
             self.fill_root(miss.addr);
             self.complete_waiters(miss.addr, completion, served);
         }
@@ -312,6 +400,10 @@ impl DataMemory for LNucaHierarchy {
         spills.clear();
         self.fabric.drain_spills_into(now, &mut spills);
         for &spill in &spills {
+            self.probe.record(ProbeEvent::Spill {
+                addr: spill.addr,
+                dirty: spill.dirty,
+            });
             if spill.dirty {
                 let _ = self.write_buffer.push(spill.addr);
             }
@@ -337,6 +429,7 @@ impl DataMemory for LNucaHierarchy {
         // 6. Drain one coalesced write toward the outer level.
         if let Some(addr) = self.write_buffer.drain_one() {
             self.outer.write_through(addr);
+            self.probe.record(ProbeEvent::WriteDrain { addr });
             self.write_drains += 1;
         }
     }

@@ -10,6 +10,7 @@ pub use lnuca::LNucaHierarchy;
 pub use outer::OuterLevel;
 
 use lnuca_cpu::DataMemory;
+use lnuca_mem::{NoProbe, ProbeSink};
 use lnuca_types::{Cycle, MemRequest, MemResponse};
 use serde::{Deserialize, Serialize};
 
@@ -61,16 +62,18 @@ impl HierarchyStats {
 }
 
 /// Any of the four hierarchies, behind one type so [`crate::system::System`]
-/// can drive them uniformly.
+/// can drive them uniformly. Generic over the [`ProbeSink`] the wrapped
+/// hierarchy reports functional transitions through ([`NoProbe`] — nothing —
+/// by default).
 #[derive(Debug)]
-pub enum AnyHierarchy {
+pub enum AnyHierarchy<P: ProbeSink = NoProbe> {
     /// Conventional 3-level or L1 + D-NUCA.
-    Classic(ClassicHierarchy),
+    Classic(ClassicHierarchy<P>),
     /// L-NUCA + (L3 or D-NUCA).
-    LNuca(LNucaHierarchy),
+    LNuca(LNucaHierarchy<P>),
 }
 
-impl AnyHierarchy {
+impl<P: ProbeSink> AnyHierarchy<P> {
     /// Snapshot of the accumulated statistics.
     #[must_use]
     pub fn stats(&self) -> HierarchyStats {
@@ -79,9 +82,27 @@ impl AnyHierarchy {
             AnyHierarchy::LNuca(h) => h.stats(),
         }
     }
+
+    /// The probe sink (for reading back recorded events).
+    #[must_use]
+    pub fn probe(&self) -> &P {
+        match self {
+            AnyHierarchy::Classic(h) => h.probe(),
+            AnyHierarchy::LNuca(h) => h.probe(),
+        }
+    }
+
+    /// Consumes the hierarchy, returning the probe sink.
+    #[must_use]
+    pub fn into_probe(self) -> P {
+        match self {
+            AnyHierarchy::Classic(h) => h.into_probe(),
+            AnyHierarchy::LNuca(h) => h.into_probe(),
+        }
+    }
 }
 
-impl DataMemory for AnyHierarchy {
+impl<P: ProbeSink> DataMemory for AnyHierarchy<P> {
     fn issue(&mut self, req: MemRequest, now: Cycle) -> bool {
         match self {
             AnyHierarchy::Classic(h) => h.issue(req, now),

@@ -5,6 +5,7 @@ use crate::energy_model;
 use crate::hierarchy::{AnyHierarchy, ClassicHierarchy, HierarchyStats, LNucaHierarchy};
 use lnuca_cpu::{CoreConfig, CoreStats, DataMemory, OooCore};
 use lnuca_energy::EnergyAccount;
+use lnuca_mem::{NoProbe, ProbeSink};
 use lnuca_types::{ConfigError, Cycle};
 use lnuca_workloads::{Suite, TraceGenerator, WorkloadProfile};
 use serde::{Deserialize, Serialize};
@@ -91,13 +92,28 @@ impl System {
     ///
     /// Returns a [`ConfigError`] if any component configuration is invalid.
     pub fn build_hierarchy(kind: &HierarchyKind) -> Result<AnyHierarchy, ConfigError> {
+        Self::build_hierarchy_probed(kind, NoProbe)
+    }
+
+    /// Instantiates the hierarchy described by `kind` with functional
+    /// instrumentation reporting to `probe` (DESIGN.md §11).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any component configuration is invalid.
+    pub fn build_hierarchy_probed<P: ProbeSink>(
+        kind: &HierarchyKind,
+        probe: P,
+    ) -> Result<AnyHierarchy<P>, ConfigError> {
         Ok(match kind {
             HierarchyKind::Conventional(c) => {
-                AnyHierarchy::Classic(ClassicHierarchy::conventional(c)?)
+                AnyHierarchy::Classic(ClassicHierarchy::conventional_probed(c, probe)?)
             }
-            HierarchyKind::DNuca(c) => AnyHierarchy::Classic(ClassicHierarchy::dnuca(c)?),
-            HierarchyKind::LNucaL3(c) => AnyHierarchy::LNuca(LNucaHierarchy::with_l3(c)?),
-            HierarchyKind::LNucaDNuca(c) => AnyHierarchy::LNuca(LNucaHierarchy::with_dnuca(c)?),
+            HierarchyKind::DNuca(c) => AnyHierarchy::Classic(ClassicHierarchy::dnuca_probed(c, probe)?),
+            HierarchyKind::LNucaL3(c) => AnyHierarchy::LNuca(LNucaHierarchy::with_l3_probed(c, probe)?),
+            HierarchyKind::LNucaDNuca(c) => {
+                AnyHierarchy::LNuca(LNucaHierarchy::with_dnuca_probed(c, probe)?)
+            }
         })
     }
 
@@ -130,7 +146,33 @@ impl System {
         instructions: u64,
         seed: u64,
     ) -> Result<RunResult, ConfigError> {
-        let mut hierarchy = Self::build_hierarchy(kind)?;
+        Self::run_workload_probed(engine, kind, profile, instructions, seed, NoProbe)
+            .map(|(result, _)| result)
+    }
+
+    /// Runs `instructions` instructions of `profile` on the hierarchy
+    /// described by `kind`, reporting every functional state transition to
+    /// `probe`, and returns the final hierarchy (probe still inside —
+    /// [`AnyHierarchy::into_probe`] extracts it) alongside the results so
+    /// callers can also enumerate final cache residency.
+    ///
+    /// The probe observes but never feeds back: results are bit-identical to
+    /// [`System::run_workload_with`] for any sink. The differential oracle in
+    /// `lnuca-verify` records the event stream this way and replays it
+    /// through its timing-free reference model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any configuration is invalid.
+    pub fn run_workload_probed<P: ProbeSink>(
+        engine: Engine,
+        kind: &HierarchyKind,
+        profile: &WorkloadProfile,
+        instructions: u64,
+        seed: u64,
+        probe: P,
+    ) -> Result<(RunResult, AnyHierarchy<P>), ConfigError> {
+        let mut hierarchy = Self::build_hierarchy_probed(kind, probe)?;
         let trace =
             TraceGenerator::new(profile.clone(), seed).take(usize::try_from(instructions).unwrap_or(usize::MAX));
         let mut core = OooCore::new(CoreConfig::paper(), trace)?;
@@ -170,7 +212,7 @@ impl System {
 
         let stats = hierarchy.stats();
         let energy = energy_model::account_for(&stats, now.0);
-        Ok(RunResult {
+        let result = RunResult {
             label: stats.label.clone(),
             workload: profile.name.clone(),
             suite: profile.suite,
@@ -180,7 +222,8 @@ impl System {
             core: *core.stats(),
             hierarchy: stats,
             energy,
-        })
+        };
+        Ok((result, hierarchy))
     }
 }
 

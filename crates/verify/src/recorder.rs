@@ -1,0 +1,20 @@
+//! A probe sink that records the whole event stream.
+
+use lnuca_mem::{ProbeEvent, ProbeSink};
+
+/// Records every [`ProbeEvent`] in order.
+///
+/// Verification-only: pushing into the `Vec` allocates, so this sink must
+/// never be used inside the zero-allocation counting tests (those run with
+/// the default `NoProbe`).
+#[derive(Debug, Clone, Default)]
+pub struct RecordingProbe {
+    /// The recorded stream, in functional order.
+    pub events: Vec<ProbeEvent>,
+}
+
+impl ProbeSink for RecordingProbe {
+    fn record(&mut self, event: ProbeEvent) {
+        self.events.push(event);
+    }
+}

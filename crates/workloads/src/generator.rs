@@ -1,7 +1,7 @@
 //! Deterministic synthetic trace generation.
 
 use crate::instr::{Instr, InstrKind};
-use crate::profile::WorkloadProfile;
+use crate::profile::{AccessPattern, WorkloadProfile};
 use lnuca_types::Addr;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -10,12 +10,16 @@ use rand::{Rng, SeedableRng};
 /// L-NUCA block size so one "block" of the reuse model is one L1 block.
 pub const TRACE_BLOCK_BYTES: u64 = 32;
 
-/// Base virtual addresses of the four regions, spaced far apart so that the
-/// regions never alias in any of the caches under study.
-const HOT_BASE: u64 = 0x0000_1000_0000;
-const WARM_BASE: u64 = 0x0000_2000_0000;
-const COLD_BASE: u64 = 0x0000_4000_0000;
-const STREAM_BASE: u64 = 0x0001_0000_0000;
+/// Base virtual address of the hot region. The four regions are spaced far
+/// apart so they never alias in any of the caches under study; the bases
+/// are public so property tests can assert containment.
+pub const HOT_BASE: u64 = 0x0000_1000_0000;
+/// Base virtual address of the warm region.
+pub const WARM_BASE: u64 = 0x0000_2000_0000;
+/// Base virtual address of the cold region.
+pub const COLD_BASE: u64 = 0x0000_4000_0000;
+/// Base virtual address of the streaming region.
+pub const STREAM_BASE: u64 = 0x0001_0000_0000;
 
 /// A seeded, infinite iterator of synthetic instructions following a
 /// [`WorkloadProfile`].
@@ -42,6 +46,9 @@ pub struct TraceGenerator {
     last_addr: u64,
     /// Current position of the streaming walker.
     stream_cursor: u64,
+    /// Current node of the pointer chase (a block index in the cold
+    /// region); advanced by a full-period permutation step.
+    chase_cursor: u64,
     /// Per-static-branch bias direction (true = usually taken).
     branch_directions: Vec<bool>,
     generated: u64,
@@ -67,6 +74,7 @@ impl TraceGenerator {
         TraceGenerator {
             last_addr: HOT_BASE,
             stream_cursor: 0,
+            chase_cursor: 0,
             branch_directions,
             profile,
             rng,
@@ -86,6 +94,44 @@ impl TraceGenerator {
         self.generated
     }
 
+    /// The pattern steering the *current* access: the profile's own class,
+    /// except under [`AccessPattern::PhaseMix`] where the classes rotate
+    /// every `phase_period` instructions.
+    fn active_pattern(&self) -> AccessPattern {
+        match self.profile.pattern {
+            AccessPattern::PhaseMix => {
+                const ROTATION: [AccessPattern; 4] = [
+                    AccessPattern::Regions,
+                    AccessPattern::Streaming,
+                    AccessPattern::PointerChase,
+                    AccessPattern::Gups,
+                ];
+                let phase = self.generated / self.profile.phase_period;
+                ROTATION[(phase % 4) as usize]
+            }
+            pattern => pattern,
+        }
+    }
+
+    /// One full-period permutation step over `[0, n)`: an LCG modulo the
+    /// next power of two (multiplier ≡ 1 mod 4, odd increment ⇒ full
+    /// period), cycle-walked down to `n`. Every block of the chase region is
+    /// visited exactly once per lap, in an order with no spatial structure —
+    /// a deterministic giant linked list.
+    fn chase_step(cursor: u64, n: u64) -> u64 {
+        let mask = n.next_power_of_two() - 1;
+        let mut x = cursor;
+        loop {
+            x = x
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407)
+                & mask;
+            if x < n {
+                return x;
+            }
+        }
+    }
+
     fn next_memory_addr(&mut self) -> Addr {
         let p = &self.profile;
         // Spatial locality: continue the previous access one word (8 bytes)
@@ -96,8 +142,22 @@ impl TraceGenerator {
             self.last_addr += 8;
             return Addr(self.last_addr);
         }
+        let block = match self.active_pattern() {
+            AccessPattern::Regions => self.next_regions_block(),
+            AccessPattern::PointerChase => self.next_chase_block(),
+            AccessPattern::Streaming => self.next_streaming_block(),
+            AccessPattern::Gups => self.next_gups_block(),
+            AccessPattern::PhaseMix => unreachable!("active_pattern resolves the rotation"),
+        };
+        self.last_addr = block * TRACE_BLOCK_BYTES;
+        Addr(self.last_addr)
+    }
+
+    /// The original three-region reuse model plus streaming walker.
+    fn next_regions_block(&mut self) -> u64 {
+        let p = &self.profile;
         let region = self.rng.gen::<f64>();
-        let block = if region < p.hot_prob {
+        if region < p.hot_prob {
             HOT_BASE / TRACE_BLOCK_BYTES + self.rng.gen_range(0..p.hot_blocks)
         } else if region < p.hot_prob + p.warm_prob {
             WARM_BASE / TRACE_BLOCK_BYTES + self.rng.gen_range(0..p.warm_blocks)
@@ -107,9 +167,46 @@ impl TraceGenerator {
             // Streaming walker: strictly sequential over a huge footprint.
             self.stream_cursor = (self.stream_cursor + 1) % p.stream_blocks;
             STREAM_BASE / TRACE_BLOCK_BYTES + self.stream_cursor
-        };
-        self.last_addr = block * TRACE_BLOCK_BYTES;
-        Addr(self.last_addr)
+        }
+    }
+
+    /// Pointer chase over the cold region (probability `hot_prob` of a hot
+    /// touch, modelling the chasing loop's own stack/locals).
+    fn next_chase_block(&mut self) -> u64 {
+        let p = &self.profile;
+        if self.rng.gen_bool(p.hot_prob) {
+            return HOT_BASE / TRACE_BLOCK_BYTES + self.rng.gen_range(0..p.hot_blocks);
+        }
+        self.chase_cursor = Self::chase_step(self.chase_cursor, p.cold_blocks);
+        COLD_BASE / TRACE_BLOCK_BYTES + self.chase_cursor
+    }
+
+    /// Strided streaming over the streaming region (probability `hot_prob`
+    /// of a hot touch).
+    fn next_streaming_block(&mut self) -> u64 {
+        let p = &self.profile;
+        if self.rng.gen_bool(p.hot_prob) {
+            return HOT_BASE / TRACE_BLOCK_BYTES + self.rng.gen_range(0..p.hot_blocks);
+        }
+        self.stream_cursor = (self.stream_cursor + p.stream_stride_blocks) % p.stream_blocks;
+        STREAM_BASE / TRACE_BLOCK_BYTES + self.stream_cursor
+    }
+
+    /// GUPS-like uniform-random access over the whole footprint: the four
+    /// regions glued into one table, sampled uniformly.
+    fn next_gups_block(&mut self) -> u64 {
+        let p = &self.profile;
+        let total = p.hot_blocks + p.warm_blocks + p.cold_blocks + p.stream_blocks;
+        let slot = self.rng.gen_range(0..total);
+        if slot < p.hot_blocks {
+            HOT_BASE / TRACE_BLOCK_BYTES + slot
+        } else if slot < p.hot_blocks + p.warm_blocks {
+            WARM_BASE / TRACE_BLOCK_BYTES + (slot - p.hot_blocks)
+        } else if slot < p.hot_blocks + p.warm_blocks + p.cold_blocks {
+            COLD_BASE / TRACE_BLOCK_BYTES + (slot - p.hot_blocks - p.warm_blocks)
+        } else {
+            STREAM_BASE / TRACE_BLOCK_BYTES + (slot - p.hot_blocks - p.warm_blocks - p.cold_blocks)
+        }
     }
 
     fn next_dep_distance(&mut self) -> u32 {

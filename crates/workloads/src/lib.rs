@@ -36,4 +36,4 @@ pub mod suites;
 
 pub use generator::TraceGenerator;
 pub use instr::{Instr, InstrKind};
-pub use profile::{Suite, WorkloadProfile};
+pub use profile::{AccessPattern, Suite, WorkloadProfile};

@@ -26,10 +26,61 @@ impl Suite {
     }
 }
 
+/// The memory access-pattern class of a profile.
+///
+/// [`AccessPattern::Regions`] is the original three-region reuse model every
+/// paper-suite profile uses; the other classes are the adversarial patterns
+/// of the `suites::adversarial` expansion (pointer chasing, streaming,
+/// GUPS-like random updates and phase switching), designed to stress the
+/// cache hierarchies in ways the stationary region model cannot. Every
+/// pattern-generated address lands inside the four standard regions, so
+/// with `spatial_stride_prob = 0` the footprint is bounded exactly by
+/// [`WorkloadProfile::footprint_bytes`]; the spatial-stride shortcut can
+/// additionally walk a run of word-sized steps past a region's edge, like
+/// it always could under the region model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// The three-region reuse model plus streaming walker (paper default).
+    #[default]
+    Regions,
+    /// A deterministic pointer chase: each access follows a pseudo-random
+    /// permutation cycle over the cold region (one giant linked list), with
+    /// probability `hot_prob` of touching the hot region instead. Defeats
+    /// spatial locality entirely; reuse distance equals the chain length.
+    PointerChase,
+    /// A strided streaming kernel: each access advances the streaming walker
+    /// by `stream_stride_blocks` blocks (wrapping over the streaming
+    /// region), with probability `hot_prob` of touching the hot region.
+    Streaming,
+    /// GUPS-like uniform-random accesses over the *entire* footprint (all
+    /// four regions glued into one giant table). Maximises tag pressure:
+    /// almost every access is a conflict candidate.
+    Gups,
+    /// Phase switching: rotates through `Regions`, `Streaming`,
+    /// `PointerChase` and `Gups` every `phase_period` instructions,
+    /// stressing residency turnover and the event-horizon engine.
+    PhaseMix,
+}
+
+impl AccessPattern {
+    /// Short label used in reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessPattern::Regions => "regions",
+            AccessPattern::PointerChase => "pointer-chase",
+            AccessPattern::Streaming => "streaming",
+            AccessPattern::Gups => "gups",
+            AccessPattern::PhaseMix => "phase-mix",
+        }
+    }
+}
+
 /// The parameters of one synthetic benchmark.
 ///
-/// Memory behaviour is controlled by a three-region reuse model plus a
-/// streaming walker:
+/// Memory behaviour is controlled by the profile's [`AccessPattern`]; under
+/// the default [`AccessPattern::Regions`] class it is a three-region reuse
+/// model plus a streaming walker:
 ///
 /// * a **hot** region that mostly fits in the L1 / root tile,
 /// * a **warm** region sized like the L2/L-NUCA capacity range — this is the
@@ -78,6 +129,14 @@ pub struct WorkloadProfile {
     pub branch_bias: f64,
     /// Number of static branches in the synthetic program.
     pub static_branches: u64,
+    /// Memory access-pattern class.
+    pub pattern: AccessPattern,
+    /// Instructions per phase for [`AccessPattern::PhaseMix`] (ignored by
+    /// the other patterns).
+    pub phase_period: u64,
+    /// Walker stride in blocks for [`AccessPattern::Streaming`] (ignored by
+    /// the other patterns).
+    pub stream_stride_blocks: u64,
 }
 
 impl WorkloadProfile {
@@ -133,6 +192,12 @@ impl WorkloadProfile {
                 format!("must be at least 1, got {}", self.mean_dep_distance),
             ));
         }
+        if self.phase_period == 0 {
+            return Err(ConfigError::new("phase_period", "must be nonzero"));
+        }
+        if self.stream_stride_blocks == 0 {
+            return Err(ConfigError::new("stream_stride_blocks", "must be nonzero"));
+        }
         Ok(())
     }
 
@@ -170,6 +235,9 @@ impl Default for WorkloadProfile {
             mean_dep_distance: 6.0,
             branch_bias: 0.92,
             static_branches: 2_048,
+            pattern: AccessPattern::Regions,
+            phase_period: 4_096,
+            stream_stride_blocks: 1,
         }
     }
 }
@@ -197,7 +265,23 @@ mod tests {
         assert!(WorkloadProfile { hot_prob: 0.7, warm_prob: 0.6, ..base.clone() }.validate().is_err());
         assert!(WorkloadProfile { hot_blocks: 0, ..base.clone() }.validate().is_err());
         assert!(WorkloadProfile { mean_dep_distance: 0.5, ..base.clone() }.validate().is_err());
+        assert!(WorkloadProfile { phase_period: 0, ..base.clone() }.validate().is_err());
+        assert!(WorkloadProfile { stream_stride_blocks: 0, ..base.clone() }.validate().is_err());
         assert!(WorkloadProfile { branch_bias: -0.1, ..base }.validate().is_err());
+    }
+
+    #[test]
+    fn pattern_labels_are_distinct() {
+        let labels = [
+            AccessPattern::Regions.label(),
+            AccessPattern::PointerChase.label(),
+            AccessPattern::Streaming.label(),
+            AccessPattern::Gups.label(),
+            AccessPattern::PhaseMix.label(),
+        ];
+        let unique: std::collections::HashSet<&str> = labels.into_iter().collect();
+        assert_eq!(unique.len(), 5);
+        assert_eq!(AccessPattern::default(), AccessPattern::Regions);
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //! density and the branch behaviour — those are the quantities the profiles
 //! control.
 
-use crate::profile::{Suite, WorkloadProfile};
+use crate::profile::{AccessPattern, Suite, WorkloadProfile};
+use lnuca_types::ConfigError;
 
 /// Convenience constructor used by the suite tables below.
 #[allow(clippy::too_many_arguments)]
@@ -48,6 +49,9 @@ fn profile(
         mean_dep_distance: dep,
         branch_bias: bias,
         static_branches: 4_096,
+        pattern: AccessPattern::Regions,
+        phase_period: 4_096,
+        stream_stride_blocks: 1,
     }
 }
 
@@ -102,6 +106,49 @@ pub fn spec_fp_like() -> Vec<WorkloadProfile> {
     ]
 }
 
+/// The four adversarial access-pattern benchmarks (ISSUE 4 expansion).
+///
+/// Each profile exercises one [`AccessPattern`] class the stationary region
+/// model cannot produce: a pointer chase whose working set overflows the
+/// fabric (as in the cache-aware-programming literature), a strided
+/// streaming kernel, a GUPS-like uniform-random-update table larger than
+/// the L3, and a phase-switching mix that cycles through all of them. They
+/// are not part of the paper's 22-benchmark reproduction ([`all`]); sweeps
+/// that want them use [`extended`] or name them explicitly.
+#[must_use]
+pub fn adversarial() -> Vec<WorkloadProfile> {
+    use Suite::{FloatingPoint as F, Integer as I};
+    vec![
+        WorkloadProfile {
+            pattern: AccessPattern::PointerChase,
+            // 24 576 cold blocks = 768 KB of chain: far beyond every L-NUCA
+            // configuration and the 256 KB L2, comfortably inside the L3.
+            ..profile("adv.pointer_chase", I, 0.32, 0.06, 0.15, 0.00, 256, 1_024, 24_576, (0.25, 0.0, 0.0), 0.05, 2.0, 0.86)
+        },
+        WorkloadProfile {
+            pattern: AccessPattern::Streaming,
+            // Stride of 3 blocks: never two consecutive accesses in one
+            // block, so the walker defeats the spatial-stride shortcut the
+            // region model relies on.
+            stream_stride_blocks: 3,
+            ..profile("adv.stream", F, 0.35, 0.10, 0.05, 0.60, 512, 1_024, 4_096, (0.15, 0.0, 0.0), 0.0, 12.0, 0.995)
+        },
+        WorkloadProfile {
+            pattern: AccessPattern::Gups,
+            // ~12 MB table (64 + 1 024 + 131 072 + 250 000 blocks of 32 B):
+            // larger than the 8 MB L3, so uniform updates stress every
+            // level's tag arrays at once.
+            stream_blocks: 250_000,
+            ..profile("adv.gups", I, 0.30, 0.15, 0.10, 0.00, 64, 1_024, 131_072, (0.0, 0.0, 0.0), 0.0, 8.0, 0.90)
+        },
+        WorkloadProfile {
+            pattern: AccessPattern::PhaseMix,
+            phase_period: 2_000,
+            ..profile("adv.phase_mix", I, 0.28, 0.10, 0.16, 0.05, 512, 2_400, 16_384, (0.60, 0.25, 0.05), 0.30, 5.0, 0.90)
+        },
+    ]
+}
+
 /// Both suites concatenated (INT first), as used by whole-run sweeps.
 #[must_use]
 pub fn all() -> Vec<WorkloadProfile> {
@@ -110,10 +157,36 @@ pub fn all() -> Vec<WorkloadProfile> {
     v
 }
 
-/// Looks up a profile by name in either suite.
+/// Every profile the crate ships: the paper's 22 benchmarks ([`all`])
+/// followed by the four [`adversarial`] access-pattern classes.
 #[must_use]
-pub fn by_name(name: &str) -> Option<WorkloadProfile> {
-    all().into_iter().find(|p| p.name == name)
+pub fn extended() -> Vec<WorkloadProfile> {
+    let mut v = all();
+    v.extend(adversarial());
+    v
+}
+
+/// Looks up a profile by name (case-insensitively) in any suite, including
+/// the adversarial expansion.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] listing every valid name when `name` matches
+/// nothing — so a typo in a bench env knob (`LNUCA_WORKLOADS`) fails loudly
+/// instead of silently running the wrong set.
+pub fn by_name(name: &str) -> Result<WorkloadProfile, ConfigError> {
+    let wanted = name.trim();
+    let profiles = extended();
+    match profiles.iter().find(|p| p.name.eq_ignore_ascii_case(wanted)) {
+        Some(p) => Ok(p.clone()),
+        None => {
+            let valid: Vec<&str> = profiles.iter().map(|p| p.name.as_str()).collect();
+            Err(ConfigError::new(
+                "workload name",
+                format!("unknown workload {wanted:?}; valid names: {}", valid.join(", ")),
+            ))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -126,21 +199,38 @@ mod tests {
         assert_eq!(spec_int_like().len(), 11);
         assert_eq!(spec_fp_like().len(), 11);
         assert_eq!(all().len(), 22);
+        assert_eq!(adversarial().len(), 4);
+        assert_eq!(extended().len(), 26);
     }
 
     #[test]
     fn every_profile_is_valid() {
-        for p in all() {
+        for p in extended() {
             p.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
         }
     }
 
     #[test]
     fn names_are_unique_and_suites_consistent() {
-        let names: HashSet<String> = all().into_iter().map(|p| p.name).collect();
-        assert_eq!(names.len(), 22);
+        let names: HashSet<String> = extended().into_iter().map(|p| p.name).collect();
+        assert_eq!(names.len(), 26);
         assert!(spec_int_like().iter().all(|p| p.suite == Suite::Integer));
         assert!(spec_fp_like().iter().all(|p| p.suite == Suite::FloatingPoint));
+        assert!(all().iter().all(|p| p.pattern == AccessPattern::Regions));
+    }
+
+    #[test]
+    fn adversarial_profiles_cover_every_new_pattern_class() {
+        let patterns: Vec<AccessPattern> = adversarial().iter().map(|p| p.pattern).collect();
+        assert_eq!(
+            patterns,
+            vec![
+                AccessPattern::PointerChase,
+                AccessPattern::Streaming,
+                AccessPattern::Gups,
+                AccessPattern::PhaseMix,
+            ]
+        );
     }
 
     #[test]
@@ -163,9 +253,21 @@ mod tests {
     }
 
     #[test]
-    fn by_name_finds_profiles() {
-        assert!(by_name("int.compress").is_some());
-        assert!(by_name("fp.weather").is_some());
-        assert!(by_name("does.not.exist").is_none());
+    fn by_name_finds_profiles_case_insensitively() {
+        assert!(by_name("int.compress").is_ok());
+        assert!(by_name("fp.weather").is_ok());
+        assert!(by_name("adv.gups").is_ok());
+        // Case and surrounding whitespace do not matter (env knobs).
+        assert_eq!(by_name("INT.Compress").unwrap().name, "int.compress");
+        assert_eq!(by_name("  Adv.Phase_Mix ").unwrap().name, "adv.phase_mix");
+    }
+
+    #[test]
+    fn by_name_errors_list_every_valid_name() {
+        let err = by_name("does.not.exist").unwrap_err().to_string();
+        assert!(err.contains("does.not.exist"), "error names the offender: {err}");
+        for p in extended() {
+            assert!(err.contains(&p.name), "error must list {}: {err}", p.name);
+        }
     }
 }

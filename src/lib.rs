@@ -22,4 +22,5 @@ pub use lnuca_mem as mem;
 pub use lnuca_noc as noc;
 pub use lnuca_sim as sim;
 pub use lnuca_types as types;
+pub use lnuca_verify as verify;
 pub use lnuca_workloads as workloads;

@@ -5,7 +5,7 @@
 //! results, a test here fails.
 
 use lnuca_suite::energy::AreaModel;
-use lnuca_suite::sim::experiments::{area_table, ExperimentOptions, Study};
+use lnuca_suite::sim::experiments::{area_table, ExperimentOptions, Study, WorkloadSelection};
 use lnuca_suite::sim::system::Engine;
 use lnuca_suite::workloads::Suite;
 
@@ -14,6 +14,7 @@ fn reduced_options() -> ExperimentOptions {
         instructions: 12_000,
         seed: 1,
         benchmarks_per_suite: Some(2),
+        workloads: WorkloadSelection::Paper,
         lnuca_levels: vec![2, 3],
         threads: 1,
         engine: Engine::EventHorizon,
@@ -114,6 +115,7 @@ fn lnuca_plus_dnuca_does_not_regress() {
         instructions: 12_000,
         seed: 3,
         benchmarks_per_suite: Some(2),
+        workloads: WorkloadSelection::Paper,
         lnuca_levels: vec![2],
         threads: 1,
         engine: Engine::EventHorizon,

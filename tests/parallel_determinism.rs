@@ -4,7 +4,7 @@
 //! in the same order, and therefore byte-identical summary tables. The
 //! workers only change when each run happens, never what it computes.
 
-use lnuca_suite::sim::experiments::{ExperimentOptions, Study};
+use lnuca_suite::sim::experiments::{ExperimentOptions, Study, WorkloadSelection};
 use lnuca_suite::sim::system::Engine;
 
 fn reduced_options() -> ExperimentOptions {
@@ -12,6 +12,7 @@ fn reduced_options() -> ExperimentOptions {
         instructions: 8_000,
         seed: 1,
         benchmarks_per_suite: Some(2),
+        workloads: WorkloadSelection::Paper,
         lnuca_levels: vec![2, 3],
         threads: 1,
         engine: Engine::EventHorizon,

@@ -11,8 +11,9 @@
 //!
 //! Supported surface: `proptest! { #[test] fn f(x in strategy, ..) { .. } }`,
 //! [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assert_ne!`], [`any`],
-//! integer/float range strategies, tuple strategies, and
-//! [`collection::vec`].
+//! integer/float range strategies, tuple strategies,
+//! [`collection::vec`], [`Strategy::prop_map`], and [`Strategy::boxed`] +
+//! [`prop_oneof!`] (uniform choice among same-typed strategies).
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SampleRange, SampleStandard};
@@ -40,6 +41,59 @@ pub trait Strategy {
     {
         Map { strategy: self, f }
     }
+
+    /// Type-erases the strategy so differently-typed strategies over the
+    /// same value type can be combined (mirrors the real crate's
+    /// `Strategy::boxed`; used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// A type-erased strategy (see [`Strategy::boxed`]).
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut SmallRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies (the expansion of
+/// [`prop_oneof!`]).
+pub struct OneOf<T> {
+    choices: Vec<BoxedStrategy<T>>,
+}
+
+/// Builds a [`OneOf`] from boxed strategies. Prefer the [`prop_oneof!`]
+/// macro, which boxes its arguments for you.
+pub fn one_of<T>(choices: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+    assert!(!choices.is_empty(), "one_of: empty choice list");
+    OneOf { choices }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        let index = rng.gen_range(0..self.choices.len());
+        self.choices[index].generate(rng)
+    }
+}
+
+/// Shim of `proptest::prop_oneof!`: draws uniformly among the listed
+/// same-value-typed strategies (the real crate's per-arm weights are not
+/// supported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::one_of(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
 }
 
 /// Strategy returned by [`Strategy::prop_map`].
@@ -217,8 +271,8 @@ pub mod prelude {
 
     pub use crate as prop;
     pub use crate::collection;
-    pub use crate::{any, Just, Strategy};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{any, Just, BoxedStrategy, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
 
 /// Shim of `proptest::proptest!`: each listed function becomes a `#[test]`
@@ -277,6 +331,22 @@ mod tests {
         fn any_and_inclusive_ranges_work(b in any::<bool>(), lvl in 2u8..=6) {
             prop_assert!(b || !b);
             prop_assert!((2..=6).contains(&lvl));
+        }
+
+        #[test]
+        fn prop_oneof_draws_from_every_arm(
+            draws in collection::vec(
+                prop_oneof![
+                    0u64..10,
+                    (100u64..110).prop_map(|v| v + 1),
+                    Just(42u64),
+                ],
+                64..65,
+            ),
+        ) {
+            prop_assert!(draws
+                .iter()
+                .all(|&v| v < 10 || (101..111).contains(&v) || v == 42));
         }
     }
 

@@ -1,67 +1,16 @@
 //! Ablation — distributed random routing vs dimension-order routing
 //! (§III-B: "This algorithm reduces contention in comparison to dimensional
 //! order routing where all the messages with the same source and destination
-//! take the same route").
-//!
-//! Runs the same workloads on a 3-level L-NUCA with both routing policies
-//! and compares the average-to-minimum Transport latency ratio (the
-//! contention metric of Table III) and the resulting IPC.
+//! take the same route"). The configurations live in the `ablation-routing`
+//! scenario (committed as `scenarios/ablation-routing.json`).
 
-use lnuca_bench::{f3, options_from_env};
-use lnuca_noc::RoutingPolicy;
-use lnuca_sim::configs::{self, HierarchyKind};
-use lnuca_sim::report::format_table;
-use lnuca_sim::system::System;
-use lnuca_types::stats::harmonic_mean;
-use lnuca_workloads::suites;
+use lnuca_bench::cli::{figure_main, Section};
 
 fn main() {
-    let opts = options_from_env();
-    let per_suite = opts.benchmarks_per_suite.unwrap_or(3).min(11);
-    let instructions = opts.instructions.min(100_000);
-    let mut workloads = suites::spec_int_like();
-    workloads.truncate(per_suite);
-    let mut fp = suites::spec_fp_like();
-    fp.truncate(per_suite);
-    workloads.extend(fp);
-
-    println!("Ablation — Transport/Replacement routing policy (3-level fabric)\n");
-    let mut rows = Vec::new();
-    for (name, policy) in [
-        ("random among valid outputs", RoutingPolicy::RandomValid),
-        ("dimension-order (first output)", RoutingPolicy::DimensionOrder),
-    ] {
-        let mut config = configs::lnuca_hierarchy(3);
-        config.lnuca.routing = policy;
-        let kind = HierarchyKind::LNucaL3(config);
-        let mut ipcs = Vec::new();
-        let mut latency_sum = 0u64;
-        let mut min_sum = 0u64;
-        let mut stalls = 0u64;
-        for (i, profile) in workloads.iter().enumerate() {
-            let result = System::run_workload(&kind, profile, instructions, opts.seed + i as u64)
-                .expect("configuration is valid");
-            ipcs.push(result.ipc);
-            if let Some(fabric) = &result.hierarchy.lnuca {
-                latency_sum += fabric.transport_latency_sum;
-                min_sum += fabric.transport_min_latency_sum;
-                stalls += fabric.transport_stall_cycles + fabric.replacement_stall_cycles;
-            }
-        }
-        let ratio = if min_sum == 0 { 1.0 } else { latency_sum as f64 / min_sum as f64 };
-        rows.push(vec![
-            name.to_owned(),
-            f3(harmonic_mean(&ipcs).unwrap_or(0.0)),
-            format!("{ratio:.4}"),
-            stalls.to_string(),
-        ]);
-    }
-    println!(
-        "{}",
-        format_table(
-            &["routing policy", "harmonic-mean IPC", "avg/min transport latency", "network stall cycles"],
-            &rows
-        )
+    figure_main(
+        "ablation-routing",
+        "Ablation — Transport/Replacement routing policy (3-level fabric)",
+        &[Section::RoutingAblation],
+        "Paper reference: with random distributed routing the avg/min transport latency stays below 1.015.",
     );
-    println!("Paper reference: with random distributed routing the avg/min transport latency stays below 1.015.");
 }

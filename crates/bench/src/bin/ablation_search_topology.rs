@@ -4,75 +4,14 @@
 //! the Search operation: the tree reaches every tile in `levels − 1` hops,
 //! needs one link per tile, and adding an L-NUCA level adds a single hop to
 //! the maximum distance, while a mesh doubles the hop count and adds more
-//! than 50 % extra links. This binary quantifies that comparison from the
-//! tile geometry for every supported fabric size.
-
-use lnuca_core::LNucaGeometry;
-use lnuca_sim::report::format_table;
+//! than 50 % extra links. Computed from the tile geometry (no simulation).
 
 fn main() {
     println!("Ablation — Search topology: broadcast tree vs 2-D mesh\n");
-    let mut rows = Vec::new();
-    for levels in 2..=6u8 {
-        let g = LNucaGeometry::new(levels).expect("levels in supported range");
-        let tiles = g.tile_count();
-        // Broadcast tree: one incoming link per tile, max distance = levels-1.
-        let tree_links = tiles;
-        let tree_max_hops = u64::from(levels) - 1;
-        // A 2-D mesh search (4-neighbour, bidirectional grid including the
-        // root position) would need links between every adjacent pair and
-        // reaches the far corner in Manhattan distance.
-        let mesh_links = mesh_link_count(&g);
-        let mesh_max_hops = g
-            .tiles()
-            .iter()
-            .map(|t| t.manhattan_to_root())
-            .max()
-            .unwrap_or(0);
-        rows.push(vec![
-            format!("LN{levels}"),
-            tiles.to_string(),
-            tree_links.to_string(),
-            tree_max_hops.to_string(),
-            mesh_links.to_string(),
-            mesh_max_hops.to_string(),
-            format!("{:+.0}%", (mesh_links as f64 / tree_links as f64 - 1.0) * 100.0),
-        ]);
-    }
-    println!(
-        "{}",
-        format_table(
-            &[
-                "fabric",
-                "tiles",
-                "tree links",
-                "tree max hops",
-                "mesh links",
-                "mesh max hops",
-                "mesh link overhead"
-            ],
-            &rows
-        )
-    );
+    lnuca_bench::cli::print_search_topology();
     println!(
         "Paper reference: the mesh \"would double the number of required hops..., would increase\n\
          the number of links by more than 50%, and would add 2 hops to the maximum distance when\n\
          adding a new level\" (Section III-A)."
     );
-}
-
-/// Number of directed links of a 4-neighbour mesh over the tile grid plus
-/// the root position.
-fn mesh_link_count(g: &LNucaGeometry) -> usize {
-    let mut nodes: Vec<(i16, i16)> = g.tiles().iter().map(|t| (t.col, t.row)).collect();
-    nodes.push((0, 0));
-    let mut links = 0;
-    for &(c, r) in &nodes {
-        for (dc, dr) in [(1i16, 0i16), (-1, 0), (0, 1), (0, -1)] {
-            if nodes.contains(&(c + dc, r + dr)) {
-                links += 1;
-            }
-        }
-    }
-    links
 }

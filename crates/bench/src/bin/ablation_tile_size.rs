@@ -1,57 +1,17 @@
 //! Ablation — tile size (§IV: "the largest configuration found for the
-//! one-cycle L-NUCA tile was an 8KB-2Way-32B cache").
-//!
-//! Sweeps the tile capacity of a 3-level L-NUCA and reports total fabric
-//! capacity and harmonic-mean IPC for a reduced workload set. Larger tiles
-//! add capacity at the same hop distances; the paper caps them at 8 KB only
-//! because of the single-cycle timing constraint, which this simulator takes
-//! as an input rather than re-deriving.
+//! one-cycle L-NUCA tile was an 8KB-2Way-32B cache"). The sweep points live
+//! in the `ablation-tile-size` scenario (committed as
+//! `scenarios/ablation-tile-size.json`); larger tiles add capacity at the
+//! same hop distances, and the paper caps them at 8 KB only because of the
+//! single-cycle timing constraint, which this simulator takes as an input.
 
-use lnuca_bench::{f3, options_from_env};
-use lnuca_core::LNucaConfig;
-use lnuca_sim::configs::{self, HierarchyKind};
-use lnuca_sim::report::format_table;
-use lnuca_sim::system::System;
-use lnuca_types::stats::harmonic_mean;
-use lnuca_workloads::suites;
+use lnuca_bench::cli::{figure_main, Section};
 
 fn main() {
-    let opts = options_from_env();
-    let per_suite = opts.benchmarks_per_suite.unwrap_or(3).min(11);
-    let instructions = opts.instructions.min(100_000);
-    let mut workloads = suites::spec_int_like();
-    workloads.truncate(per_suite);
-    let mut fp = suites::spec_fp_like();
-    fp.truncate(per_suite);
-    workloads.extend(fp);
-
-    println!("Ablation — L-NUCA tile size (3-level fabric, {instructions} instructions per run)\n");
-    let mut rows = Vec::new();
-    for tile_kb in [2u64, 4, 8, 16] {
-        let mut config = configs::lnuca_hierarchy(3);
-        config.lnuca = LNucaConfig {
-            tile_size_bytes: tile_kb * 1024,
-            ..config.lnuca
-        };
-        let kind = HierarchyKind::LNucaL3(config);
-        let mut ipcs = Vec::new();
-        for (i, profile) in workloads.iter().enumerate() {
-            let result = System::run_workload(&kind, profile, instructions, opts.seed + i as u64)
-                .expect("configuration is valid");
-            ipcs.push(result.ipc);
-        }
-        let capacity = lnuca_core::LNucaGeometry::new(3)
-            .expect("3 levels is valid")
-            .capacity_bytes(tile_kb * 1024);
-        rows.push(vec![
-            format!("{tile_kb} KB tiles"),
-            format!("{} KB", (capacity + 32 * 1024) / 1024),
-            f3(harmonic_mean(&ipcs).unwrap_or(0.0)),
-        ]);
-    }
-    println!(
-        "{}",
-        format_table(&["tile size", "total capacity (with L1)", "harmonic-mean IPC"], &rows)
+    figure_main(
+        "ablation-tile-size",
+        "Ablation — L-NUCA tile size (3-level fabric)",
+        &[Section::TileAblation],
+        "The paper fixes 8 KB tiles; smaller tiles trade capacity for nothing once the\nsingle-cycle constraint is already met, larger tiles would not close timing.",
     );
-    println!("The paper fixes 8 KB tiles; smaller tiles trade capacity for nothing once the\nsingle-cycle constraint is already met, larger tiles would not close timing.");
 }

@@ -1,219 +1,10 @@
-//! Runs the complete evaluation in one pass: both studies (conventional and
-//! D-NUCA) are simulated once, and every table/figure of the paper is
-//! printed from the shared results. This is the binary used to produce
-//! `EXPERIMENTS.md`; the per-figure binaries (`fig4a_*`, `table3_*`, ...)
-//! print the same rows individually.
-
-use lnuca_bench::{baseline, f3, options_from_env, signed_pct};
-use lnuca_sim::experiments::{area_table, headline, Study};
-use lnuca_sim::report::format_table;
-use lnuca_workloads::Suite;
-use std::time::Instant;
+//! Runs the complete evaluation in one pass: both paper scenarios
+//! (`paper-conventional` and `paper-dnuca`) are simulated once, and every
+//! table/figure of the paper is printed from the shared results. This is
+//! the binary used to produce `EXPERIMENTS.md`; the per-figure binaries
+//! (`fig4a_*`, `table3_*`, ...) print the same rows individually, and the
+//! `lnuca` binary runs any scenario (built-in or JSON file) the same way.
 
 fn main() {
-    let opts = options_from_env();
-    eprintln!(
-        "running both studies: {} instructions per run, levels {:?}, {} benchmarks per suite, {} worker thread(s)",
-        opts.instructions,
-        opts.lnuca_levels,
-        opts.benchmarks_per_suite
-            .map_or("all".to_owned(), |n| n.to_string()),
-        opts.threads,
-    );
-    let wall_start = Instant::now();
-
-    println!("== Table II — conventional and L-NUCA areas ==\n");
-    let rows: Vec<Vec<String>> = area_table()
-        .into_iter()
-        .map(|row| {
-            vec![
-                row.label,
-                row.paper_mm2.map_or("—".to_owned(), |v| format!("{v:.2}")),
-                format!("{:.2}", row.model_mm2),
-                row.paper_network_pct.map_or("—".to_owned(), |v| format!("{v:.1}%")),
-                format!("{:.1}%", row.model_network_pct),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        format_table(
-            &["configuration", "paper mm2", "model mm2", "paper net %", "model net %"],
-            &rows
-        )
-    );
-
-    eprintln!("simulating the conventional study...");
-    let conventional_start = Instant::now();
-    let conventional = Study::conventional(&opts).expect("paper configurations are valid");
-    let conventional_wall = conventional_start.elapsed().as_secs_f64();
-
-    println!("== Fig. 4(a) — IPC harmonic mean (conventional study) ==\n");
-    print_ipc(&conventional);
-    println!("== Fig. 4(b) — total energy normalised to L2-256KB ==\n");
-    print_energy(&conventional);
-    println!("== Table III — read hits per L-NUCA level relative to L2-256KB ==\n");
-    print_hits(&conventional);
-
-    println!("== Headline — LN3-144KB vs L2-256KB ==\n");
-    let h = headline(&conventional);
-    println!(
-        "{}",
-        format_table(
-            &["metric", "measured", "paper"],
-            &[
-                vec!["area".to_owned(), signed_pct(h.area_change_pct), "-5.3%".to_owned()],
-                vec!["Integer IPC".to_owned(), signed_pct(h.int_ipc_gain_pct), "+6.1%".to_owned()],
-                vec!["FP IPC".to_owned(), signed_pct(h.fp_ipc_gain_pct), "+15.0%".to_owned()],
-                vec!["total energy".to_owned(), signed_pct(h.energy_change_pct), "-14.2%".to_owned()],
-            ]
-        )
-    );
-
-    eprintln!("simulating the D-NUCA study...");
-    let dnuca_start = Instant::now();
-    let dnuca = Study::dnuca(&opts).expect("paper configurations are valid");
-    let dnuca_wall = dnuca_start.elapsed().as_secs_f64();
-
-    println!("== Fig. 5(a) — IPC harmonic mean (D-NUCA study) ==\n");
-    print_ipc(&dnuca);
-    println!("== Fig. 5(b) — total energy normalised to DN-4x8 ==\n");
-    print_energy(&dnuca);
-
-    let studies = [
-        baseline::StudyPerf {
-            name: "conventional",
-            wall_seconds: conventional_wall,
-            runs: &conventional.perf,
-        },
-        baseline::StudyPerf {
-            name: "dnuca",
-            wall_seconds: dnuca_wall,
-            runs: &dnuca.perf,
-        },
-    ];
-
-    println!("== Simulator throughput (wall-clock, not modelled time) ==\n");
-    print_throughput(&studies);
-
-    if let Some(path) = baseline::path_from_env(true) {
-        let json = baseline::baseline_json(&opts, &studies, wall_start.elapsed().as_secs_f64());
-        if let Err(err) = baseline::write(&path, &json) {
-            eprintln!("warning: could not write {}: {err}", path.display());
-        }
-    }
-}
-
-fn print_throughput(studies: &[baseline::StudyPerf<'_>]) {
-    let mut rows: Vec<Vec<String>> = Vec::new();
-    for study in studies {
-        for (label, runs, wall, cycles, kcps) in baseline::per_configuration(study.runs) {
-            rows.push(vec![
-                study.name.to_owned(),
-                label,
-                runs.to_string(),
-                format!("{wall:.3}"),
-                format!("{:.1}", cycles as f64 / 1e6),
-                format!("{kcps:.0}"),
-            ]);
-        }
-        rows.push(vec![
-            study.name.to_owned(),
-            "(whole study)".to_owned(),
-            study.runs.len().to_string(),
-            format!("{:.3}", study.wall_seconds),
-            format!(
-                "{:.1}",
-                study.runs.iter().map(|r| r.cycles).sum::<u64>() as f64 / 1e6
-            ),
-            String::new(),
-        ]);
-    }
-    println!(
-        "{}",
-        format_table(
-            &["study", "configuration", "runs", "wall s", "Mcycles", "kcycles/s"],
-            &rows
-        )
-    );
-}
-
-fn print_ipc(study: &Study) {
-    let rows: Vec<Vec<String>> = study
-        .ipc_summary()
-        .into_iter()
-        .map(|r| {
-            vec![
-                r.label,
-                f3(r.int_ipc),
-                signed_pct(r.int_gain_pct),
-                f3(r.fp_ipc),
-                signed_pct(r.fp_gain_pct),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        format_table(
-            &["configuration", "Integer IPC", "vs baseline", "FP IPC", "vs baseline"],
-            &rows
-        )
-    );
-}
-
-fn print_energy(study: &Study) {
-    let rows: Vec<Vec<String>> = study
-        .energy_summary()
-        .into_iter()
-        .map(|r| {
-            vec![
-                r.label,
-                f3(r.dynamic),
-                f3(r.static_l1),
-                f3(r.static_second),
-                f3(r.static_last),
-                f3(r.total),
-                signed_pct((r.total - 1.0) * 100.0),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        format_table(
-            &["configuration", "dyn.", "sta. L1-RT", "sta. 2nd level", "sta. last level", "total", "vs baseline"],
-            &rows
-        )
-    );
-}
-
-fn print_hits(study: &Study) {
-    let rows: Vec<Vec<String>> = study
-        .hit_distribution()
-        .into_iter()
-        .map(|row| {
-            let mut cells = vec![
-                row.label.clone(),
-                match row.suite {
-                    Suite::Integer => "Int.".to_owned(),
-                    Suite::FloatingPoint => "FP.".to_owned(),
-                },
-            ];
-            let levels: Vec<String> = row
-                .level_percent
-                .iter()
-                .map(|v| format!("{v:.1}"))
-                .collect();
-            cells.push(levels.join(" / "));
-            cells.push(format!("{:.1}", row.all_levels_percent));
-            cells.push(format!("{:.3}", row.avg_to_min_transport));
-            cells
-        })
-        .collect();
-    println!(
-        "{}",
-        format_table(
-            &["configuration", "suite", "Le2 / Le3 / ... (%)", "all levels (%)", "avg/min transport"],
-            &rows
-        )
-    );
+    lnuca_bench::cli::all_experiments_main();
 }

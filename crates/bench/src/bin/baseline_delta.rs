@@ -8,13 +8,14 @@
 //! baseline_delta <committed.json> <fresh.json>
 //! ```
 //!
-//! The reader is a deliberately minimal line scanner coupled to the schema
-//! emitted by `lnuca_bench::baseline` (both `v1` and `v2` documents): a
-//! `"study"` line sets the context, and any line carrying `"label"`,
-//! `"runs"` and `"kcycles_per_sec"` together is a per-configuration
-//! aggregate row (per-run rows carry `"workload"` instead of `"runs"`).
+//! The reader is the vendored `serde::json` document parser walking the
+//! schema emitted by `lnuca_bench::baseline` (both `v1` and `v2`
+//! documents): each study's `configurations` array carries the
+//! per-configuration aggregates this table compares. (Before the JSON
+//! module existed this was an ad-hoc line scanner.)
 
 use lnuca_sim::report::format_table;
+use serde::json;
 
 /// Throughput (kcycles/s) drop in percent beyond which a configuration is
 /// flagged.
@@ -85,7 +86,7 @@ fn main() {
 
 /// Reads `(study, label, kcycles_per_sec)` configuration aggregates out of a
 /// baseline document, exiting with a warning (and an empty set) if the file
-/// is unreadable — the delta step must never break CI.
+/// is unreadable or malformed — the delta step must never break CI.
 fn read_configurations(path: &str) -> Vec<(String, String, f64)> {
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
@@ -94,41 +95,31 @@ fn read_configurations(path: &str) -> Vec<(String, String, f64)> {
             return Vec::new();
         }
     };
-    let mut study = String::new();
-    let mut out = Vec::new();
-    for line in text.lines() {
-        if let Some(value) = string_field(line, "study") {
-            study = value;
+    let document = match json::parse(&text) {
+        Ok(document) => document,
+        Err(err) => {
+            eprintln!("::warning::{path} is not valid JSON ({err}); skipping comparison");
+            return Vec::new();
         }
-        // Configuration aggregates carry "runs"; per-run rows carry
-        // "workload" instead.
-        if line.contains("\"runs\":") && !line.contains("\"workload\":") {
-            if let (Some(label), Some(kcps)) =
-                (string_field(line, "label"), number_field(line, "kcycles_per_sec"))
-            {
-                out.push((study.clone(), label, kcps));
+    };
+    let mut out = Vec::new();
+    let studies = document.get("studies").and_then(json::Value::as_array);
+    for study in studies.unwrap_or_default() {
+        let Some(name) = study.get("study").and_then(json::Value::as_str) else {
+            continue;
+        };
+        let configurations = study
+            .get("configurations")
+            .and_then(json::Value::as_array)
+            .unwrap_or_default();
+        for row in configurations {
+            if let (Some(label), Some(kcps)) = (
+                row.get("label").and_then(json::Value::as_str),
+                row.get("kcycles_per_sec").and_then(json::Value::as_f64),
+            ) {
+                out.push((name.to_owned(), label.to_owned(), kcps));
             }
         }
     }
     out
-}
-
-/// Extracts `"key": "value"` from a single JSON line (no escapes expected in
-/// the labels this workspace emits).
-fn string_field(line: &str, key: &str) -> Option<String> {
-    let needle = format!("\"{key}\": \"");
-    let start = line.find(&needle)? + needle.len();
-    let rest = &line[start..];
-    Some(rest[..rest.find('"')?].to_owned())
-}
-
-/// Extracts `"key": 123.456` from a single JSON line.
-fn number_field(line: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\": ");
-    let start = line.find(&needle)? + needle.len();
-    let rest = &line[start..];
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
 }

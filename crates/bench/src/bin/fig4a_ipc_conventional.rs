@@ -1,40 +1,13 @@
 //! Fig. 4(a) — harmonic-mean IPC of the conventional baseline (`L2-256KB`)
 //! and the L-NUCA configurations (`LN2/LN3/LN4` + L3), per suite.
 
-use lnuca_bench::{f3, options_from_env, signed_pct};
-use lnuca_sim::experiments::Study;
-use lnuca_sim::report::format_table;
+use lnuca_bench::cli::{figure_main, Section};
 
 fn main() {
-    let opts = options_from_env();
-    eprintln!(
-        "running the conventional study: {} instructions x {} levels {:?} ...",
-        opts.instructions,
-        opts.benchmarks_per_suite.map_or("all".to_owned(), |n| n.to_string()),
-        opts.lnuca_levels
+    figure_main(
+        "paper-conventional",
+        "Fig. 4(a) — IPC harmonic mean, conventional hierarchy study",
+        &[Section::IpcSummary],
+        "Paper reference: LN2 +5.4% Int / +14.3% FP ... LN4 +6.2% Int / +15.4% FP vs L2-256KB.",
     );
-    let study = Study::conventional(&opts).expect("paper configurations are valid");
-
-    println!("Fig. 4(a) — IPC harmonic mean, conventional hierarchy study\n");
-    let rows: Vec<Vec<String>> = study
-        .ipc_summary()
-        .into_iter()
-        .map(|r| {
-            vec![
-                r.label,
-                f3(r.int_ipc),
-                signed_pct(r.int_gain_pct),
-                f3(r.fp_ipc),
-                signed_pct(r.fp_gain_pct),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        format_table(
-            &["configuration", "Integer IPC", "vs baseline", "FP IPC", "vs baseline"],
-            &rows
-        )
-    );
-    println!("Paper reference: LN2 +5.4% Int / +14.3% FP ... LN4 +6.2% Int / +15.4% FP vs L2-256KB.");
 }

@@ -2,37 +2,13 @@
 //! paper's four bar segments (dynamic, static L1-RT, static L2/rest of
 //! tiles, static L3).
 
-use lnuca_bench::{f3, options_from_env, signed_pct};
-use lnuca_sim::experiments::Study;
-use lnuca_sim::report::format_table;
+use lnuca_bench::cli::{figure_main, Section};
 
 fn main() {
-    let opts = options_from_env();
-    eprintln!("running the conventional study ({} instructions per run)...", opts.instructions);
-    let study = Study::conventional(&opts).expect("paper configurations are valid");
-
-    println!("Fig. 4(b) — total energy normalised to L2-256KB\n");
-    let rows: Vec<Vec<String>> = study
-        .energy_summary()
-        .into_iter()
-        .map(|r| {
-            vec![
-                r.label,
-                f3(r.dynamic),
-                f3(r.static_l1),
-                f3(r.static_second),
-                f3(r.static_last),
-                f3(r.total),
-                signed_pct((r.total - 1.0) * 100.0),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        format_table(
-            &["configuration", "dyn.", "sta. L1-RT", "sta. L2/RESTT", "sta. L3", "total", "vs baseline"],
-            &rows
-        )
+    figure_main(
+        "paper-conventional",
+        "Fig. 4(b) — total energy normalised to L2-256KB",
+        &[Section::EnergySummary],
+        "Paper reference: savings from 10.5% (LN4-248KB) to 16.5% (LN2-72KB) vs L2-256KB.",
     );
-    println!("Paper reference: savings from 10.5% (LN4-248KB) to 16.5% (LN2-72KB) vs L2-256KB.");
 }

@@ -1,35 +1,13 @@
 //! Fig. 5(a) — harmonic-mean IPC of the D-NUCA baseline (`DN-4x8`) and of
 //! the L-NUCA + D-NUCA configurations, per suite.
 
-use lnuca_bench::{f3, options_from_env, signed_pct};
-use lnuca_sim::experiments::Study;
-use lnuca_sim::report::format_table;
+use lnuca_bench::cli::{figure_main, Section};
 
 fn main() {
-    let opts = options_from_env();
-    eprintln!("running the D-NUCA study ({} instructions per run)...", opts.instructions);
-    let study = Study::dnuca(&opts).expect("paper configurations are valid");
-
-    println!("Fig. 5(a) — IPC harmonic mean, D-NUCA hierarchy study\n");
-    let rows: Vec<Vec<String>> = study
-        .ipc_summary()
-        .into_iter()
-        .map(|r| {
-            vec![
-                r.label,
-                f3(r.int_ipc),
-                signed_pct(r.int_gain_pct),
-                f3(r.fp_ipc),
-                signed_pct(r.fp_gain_pct),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        format_table(
-            &["configuration", "Integer IPC", "vs baseline", "FP IPC", "vs baseline"],
-            &rows
-        )
+    figure_main(
+        "paper-dnuca",
+        "Fig. 5(a) — IPC harmonic mean, D-NUCA hierarchy study",
+        &[Section::IpcSummary],
+        "Paper reference: roughly +4.5% Int / +7% FP for every L-NUCA size; LN2 + DN-4x8 gets +4.2% / +6.8%.",
     );
-    println!("Paper reference: roughly +4.5% Int / +7% FP for every L-NUCA size; LN2 + DN-4x8 gets +4.2% / +6.8%.");
 }

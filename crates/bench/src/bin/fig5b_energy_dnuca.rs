@@ -2,37 +2,13 @@
 //! four bar segments (dynamic, static L1-RT, static rest-of-tiles, static
 //! D-NUCA).
 
-use lnuca_bench::{f3, options_from_env, signed_pct};
-use lnuca_sim::experiments::Study;
-use lnuca_sim::report::format_table;
+use lnuca_bench::cli::{figure_main, Section};
 
 fn main() {
-    let opts = options_from_env();
-    eprintln!("running the D-NUCA study ({} instructions per run)...", opts.instructions);
-    let study = Study::dnuca(&opts).expect("paper configurations are valid");
-
-    println!("Fig. 5(b) — total energy normalised to DN-4x8\n");
-    let rows: Vec<Vec<String>> = study
-        .energy_summary()
-        .into_iter()
-        .map(|r| {
-            vec![
-                r.label,
-                f3(r.dynamic),
-                f3(r.static_l1),
-                f3(r.static_second),
-                f3(r.static_last),
-                f3(r.total),
-                signed_pct((r.total - 1.0) * 100.0),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        format_table(
-            &["configuration", "dyn.", "sta. L1-RT", "sta. RESTT", "sta. D-NUCA", "total", "vs baseline"],
-            &rows
-        )
+    figure_main(
+        "paper-dnuca",
+        "Fig. 5(b) — total energy normalised to DN-4x8",
+        &[Section::EnergySummary],
+        "Paper reference: savings from 4.25% (LN2 + DN-4x8) to 0.2% (LN4 + DN-4x8); LN2 + DN-4x8 cuts dynamic energy by 19.8%.",
     );
-    println!("Paper reference: savings from 4.25% (LN2 + DN-4x8) to 0.2% (LN4 + DN-4x8); LN2 + DN-4x8 cuts dynamic energy by 19.8%.");
 }

@@ -2,48 +2,6 @@
 //! 3-level L-NUCA saves area, improves IPC for both suites and reduces total
 //! energy, all at once.
 
-use lnuca_bench::{baseline, options_from_env, signed_pct};
-use lnuca_sim::experiments::{headline, Study};
-use lnuca_sim::report::format_table;
-use std::time::Instant;
-
 fn main() {
-    let mut opts = options_from_env();
-    if !opts.lnuca_levels.contains(&3) {
-        opts.lnuca_levels.push(3);
-    }
-    eprintln!(
-        "running the conventional study ({} instructions per run, {} worker thread(s))...",
-        opts.instructions, opts.threads
-    );
-    let started = Instant::now();
-    let study = Study::conventional(&opts).expect("paper configurations are valid");
-    let wall = started.elapsed().as_secs_f64();
-    let simulated: u64 = study.perf.iter().map(|p| p.cycles).sum();
-    eprintln!(
-        "simulated {:.1} Mcycles in {wall:.3} s wall-clock ({:.0} kcycles/s aggregate)",
-        simulated as f64 / 1e6,
-        if wall > 0.0 { simulated as f64 / 1_000.0 / wall } else { 0.0 },
-    );
-    if let Some(path) = baseline::path_from_env(false) {
-        let studies = [baseline::StudyPerf {
-            name: "conventional",
-            wall_seconds: wall,
-            runs: &study.perf,
-        }];
-        let json = baseline::baseline_json(&opts, &studies, wall);
-        if let Err(err) = baseline::write(&path, &json) {
-            eprintln!("warning: could not write {}: {err}", path.display());
-        }
-    }
-    let h = headline(&study);
-
-    println!("Headline — LN3-144KB versus L2-256KB\n");
-    let rows = vec![
-        vec!["area".to_owned(), signed_pct(h.area_change_pct), "-5.3%".to_owned()],
-        vec!["Integer IPC".to_owned(), signed_pct(h.int_ipc_gain_pct), "+6.1%".to_owned()],
-        vec!["Floating-Point IPC".to_owned(), signed_pct(h.fp_ipc_gain_pct), "+15.0%".to_owned()],
-        vec!["total energy".to_owned(), signed_pct(h.energy_change_pct), "-14.2%".to_owned()],
-    ];
-    println!("{}", format_table(&["metric", "measured", "paper"], &rows));
+    lnuca_bench::cli::headline_main();
 }

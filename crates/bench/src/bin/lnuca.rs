@@ -1,0 +1,18 @@
+//! `lnuca` — the declarative scenario runner: lists built-in scenarios,
+//! loads `lnuca-scenario/v1` JSON files, layers the `LNUCA_*` environment
+//! knobs on top, runs the plan through `Study::run`, prints the text tables
+//! and emits the structured `lnuca-report/v1` document.
+//!
+//! ```text
+//! lnuca list
+//! lnuca run paper-conventional --report report.json
+//! lnuca run scenarios/ln3-no-l3.json
+//! lnuca validate scenarios/*.json
+//! lnuca export deep-stack > scenarios/deep-stack.json
+//! lnuca check-report report.json
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(lnuca_bench::cli::cli_main(&args));
+}

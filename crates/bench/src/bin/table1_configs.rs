@@ -4,75 +4,7 @@
 //! defaults the rest of the harness uses, so a reader can check them against
 //! the paper's Table I in one glance.
 
-use lnuca_sim::configs;
-use lnuca_sim::report::format_table;
-
 fn main() {
-    let l1 = configs::paper_l1();
-    let l2 = configs::paper_l2();
-    let l3 = configs::paper_l3();
-    let mem = configs::paper_memory();
-    let lnuca = lnuca_core::LNucaConfig::default();
-    let dnuca = lnuca_dnuca::DNucaConfig::paper();
-    let core = lnuca_cpu::CoreConfig::paper();
-
     println!("Table I — architectural and network parameters (simulator defaults)\n");
-
-    let cache_rows = vec![
-        cache_row("L1 / r-tile", &l1),
-        cache_row("L2", &l2),
-        cache_row("L3", &l3),
-        vec![
-            "L-NUCA tile".to_owned(),
-            format!("{} KB", lnuca.tile_size_bytes / 1024),
-            format!("{}-way", lnuca.tile_ways),
-            format!("{} B", lnuca.block_size),
-            "1 / 1".to_owned(),
-            "copy-back".to_owned(),
-        ],
-        vec![
-            "D-NUCA bank".to_owned(),
-            format!("{} KB", dnuca.bank_size_bytes / 1024),
-            format!("{}-way", dnuca.bank_ways),
-            format!("{} B", dnuca.block_size),
-            format!("{} / {}", dnuca.bank_completion_cycles, dnuca.bank_initiation_interval),
-            "copy-back".to_owned(),
-        ],
-    ];
-    println!(
-        "{}",
-        format_table(
-            &["cache", "size", "assoc", "block", "completion/initiation", "write policy"],
-            &cache_rows
-        )
-    );
-
-    let core_rows = vec![
-        vec!["fetch / issue / commit width".to_owned(), format!("{} / {}+{} / {}", core.fetch_width, core.issue_width_int_mem, core.issue_width_fp, core.commit_width)],
-        vec!["ROB / LSQ".to_owned(), format!("{} / {}", core.rob_size, core.lsq_size)],
-        vec!["INT / FP / MEM issue windows".to_owned(), format!("{} / {} / {}", core.int_window, core.fp_window, core.mem_window)],
-        vec!["store buffer".to_owned(), core.store_buffer_size.to_string()],
-        vec!["branch mispredict penalty".to_owned(), format!("{} cycles", core.mispredict_penalty)],
-        vec!["MSHRs L1 / L2 / L3".to_owned(), format!("{} / {} / {}", configs::L1_MSHRS, configs::L2_MSHRS, configs::L3_MSHRS)],
-        vec!["MSHR secondary misses".to_owned(), configs::MSHR_SECONDARY.to_string()],
-        vec!["L2/L3 write buffers".to_owned(), format!("{0} / {0}", configs::WRITE_BUFFER_ENTRIES)],
-        vec!["main memory".to_owned(), format!("{} + {} cycles/chunk, {} B wires", mem.first_chunk_cycles, mem.inter_chunk_cycles, mem.chunk_bytes)],
-        vec!["D-NUCA mesh".to_owned(), format!("{}x{} banks, {} VCs, {} B flits", dnuca.cols, dnuca.rows, dnuca.virtual_channels, dnuca.flit_bytes)],
-        vec!["L-NUCA buffers".to_owned(), format!("{} entries per link", lnuca.buffer_entries)],
-    ];
-    println!("{}", format_table(&["core / memory parameter", "value"], &core_rows));
-}
-
-fn cache_row(name: &str, cfg: &lnuca_mem::CacheConfig) -> Vec<String> {
-    vec![
-        name.to_owned(),
-        format!("{} KB", cfg.size_bytes / 1024),
-        format!("{}-way", cfg.ways),
-        format!("{} B", cfg.block_size),
-        format!("{} / {}", cfg.completion_cycles, cfg.initiation_interval),
-        match cfg.write_policy {
-            lnuca_mem::WritePolicy::WriteThrough => "write-through".to_owned(),
-            lnuca_mem::WritePolicy::CopyBack => "copy-back".to_owned(),
-        },
-    ]
+    lnuca_bench::cli::print_table1();
 }

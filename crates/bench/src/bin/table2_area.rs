@@ -4,30 +4,10 @@
 //! analytical area model, for the baseline and the three L-NUCA sizes.
 
 use lnuca_sim::experiments::area_table;
-use lnuca_sim::report::format_table;
 
 fn main() {
     println!("Table II — conventional and L-NUCA areas (L1 + second level)\n");
-    let rows: Vec<Vec<String>> = area_table()
-        .into_iter()
-        .map(|row| {
-            vec![
-                row.label.clone(),
-                row.paper_mm2.map_or("—".to_owned(), |v| format!("{v:.2}")),
-                format!("{:.2}", row.model_mm2),
-                row.paper_network_pct
-                    .map_or("—".to_owned(), |v| format!("{v:.1}%")),
-                format!("{:.1}%", row.model_network_pct),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        format_table(
-            &["configuration", "paper area (mm2)", "model area (mm2)", "paper network share", "model network share"],
-            &rows
-        )
-    );
+    lnuca_bench::cli::print_area_table();
     let table = area_table();
     let baseline = table[0].model_mm2;
     let ln3 = table[2].model_mm2;

@@ -2,52 +2,14 @@
 //! `L2-256KB` baseline's L2, and the average-to-minimum Transport latency
 //! ratio.
 
-use lnuca_bench::options_from_env;
-use lnuca_sim::experiments::Study;
-use lnuca_sim::report::format_table;
-use lnuca_workloads::Suite;
+use lnuca_bench::cli::{figure_main, Section};
 
 fn main() {
-    let opts = options_from_env();
-    eprintln!("running the conventional study ({} instructions per run)...", opts.instructions);
-    let study = Study::conventional(&opts).expect("paper configurations are valid");
-
-    println!("Table III — L-NUCA read hits relative to the L2 hits of L2-256KB\n");
-    let max_levels = opts.lnuca_levels.iter().copied().max().unwrap_or(4) as usize - 1;
-    let mut headers: Vec<String> = vec!["configuration".to_owned(), "suite".to_owned()];
-    for level in 0..max_levels {
-        headers.push(format!("Le{} / L2 (%)", level + 2));
-    }
-    headers.push("all levels / L2 (%)".to_owned());
-    headers.push("avg/min transport".to_owned());
-    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-
-    let rows: Vec<Vec<String>> = study
-        .hit_distribution()
-        .into_iter()
-        .map(|row| {
-            let mut cells = vec![
-                row.label.clone(),
-                match row.suite {
-                    Suite::Integer => "Int.".to_owned(),
-                    Suite::FloatingPoint => "FP.".to_owned(),
-                },
-            ];
-            for level in 0..max_levels {
-                cells.push(
-                    row.level_percent
-                        .get(level)
-                        .map_or("—".to_owned(), |v| format!("{v:.1}")),
-                );
-            }
-            cells.push(format!("{:.1}", row.all_levels_percent));
-            cells.push(format!("{:.3}", row.avg_to_min_transport));
-            cells
-        })
-        .collect();
-    println!("{}", format_table(&header_refs, &rows));
-    println!(
+    figure_main(
+        "paper-conventional",
+        "Table III — L-NUCA read hits relative to the L2 hits of L2-256KB",
+        &[Section::HitDistribution],
         "Paper reference (LN3-144KB): Le2 59.9% Int / 41.0% FP, Le3 21.2% Int / 29.4% FP,\n\
-         all levels 81.2% Int / 70.3% FP, avg/min transport latency 1.008 Int / 1.005 FP."
+         all levels 81.2% Int / 70.3% FP, avg/min transport latency 1.008 Int / 1.005 FP.",
     );
 }

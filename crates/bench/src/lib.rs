@@ -1,8 +1,14 @@
 //! Shared plumbing for the experiment binaries and criterion benches.
 //!
-//! Every binary in `src/bin/` regenerates one table or figure of the paper;
-//! they all read the same environment variables so a single invocation style
-//! covers quick smoke runs and full reproductions:
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! by delegating to the scenario CLI layer ([`cli`]): a built-in scenario
+//! (or any `lnuca-scenario/v1` JSON file) resolves to an
+//! `ExperimentPlan`, the `LNUCA_*` environment variables layer on top
+//! ([`knobs`]; defaults < scenario file < environment), and one
+//! `Study::run` produces every table. The `lnuca` binary exposes the whole
+//! surface (`lnuca list` / `run` / `validate` / `export` / `check-report`).
+//!
+//! The environment variables:
 //!
 //! * `LNUCA_INSTRUCTIONS` — instructions per (configuration, benchmark) pair
 //!   (default 100 000; the paper simulates 100 M per SimPoint, which is far
@@ -17,14 +23,17 @@
 //!   comma-separated list of profile names resolved case-insensitively
 //!   (e.g. `int.compress,adv.gups`; unknown names abort with the valid
 //!   list),
-//! * `LNUCA_LEVELS` — comma-separated L-NUCA level counts (default `2,3,4`),
+//! * `LNUCA_LEVELS` — comma-separated L-NUCA level counts (default `2,3,4`;
+//!   applies to the two `paper-*` scenarios, which regenerate their
+//!   configuration matrix from it — explicit scenarios pin their configs),
 //! * `LNUCA_SEED` — base seed for the synthetic traces (default 1),
 //! * `LNUCA_THREADS` — worker threads for the experiment matrix (default:
-//!   all available hardware threads; results are identical at any value,
-//!   only the wall-clock changes),
-//! * `LNUCA_QUICK` — any value but `0`/empty starts from
-//!   [`ExperimentOptions::quick`] instead of the full-run defaults (the
-//!   other variables still override individual fields),
+//!   all available hardware threads, unless the scenario pins a nonzero
+//!   count; results are identical at any value, only the wall-clock
+//!   changes),
+//! * `LNUCA_QUICK` — any value but `0`/empty rewrites the run scale to the
+//!   quick-smoke values (5 000 instructions, 2 benchmarks per suite,
+//!   levels 2–3); the other variables still override individual fields,
 //! * `LNUCA_ENGINE` — time-stepping engine: `event` (default; jump idle
 //!   time via the `next_event` horizons of DESIGN.md §10) or `cycle`
 //!   (single-step every cycle). Results are bit-identical either way
@@ -36,133 +45,18 @@
 //!   disables). `headline_summary` honours it too but only when set; the
 //!   single-figure binaries never write it.
 //!
-//! Malformed numeric values are rejected with a one-line warning on stderr
-//! naming the variable and the offending value, then the default applies.
+//! Malformed values are rejected with a one-line warning on stderr naming
+//! the variable and the offending value — once per variable per process —
+//! then the lower layer (scenario file or default) stays in effect.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod cli;
+pub mod knobs;
 
-use lnuca_sim::experiments::{ExperimentOptions, WorkloadSelection};
-use lnuca_sim::system::Engine;
-
-/// Builds [`ExperimentOptions`] from the `LNUCA_*` environment variables.
-#[must_use]
-pub fn options_from_env() -> ExperimentOptions {
-    let mut opts = if env_flag("LNUCA_QUICK") {
-        ExperimentOptions::quick()
-    } else {
-        ExperimentOptions {
-            instructions: 100_000,
-            ..ExperimentOptions::default()
-        }
-    };
-    if let Some(v) = env_u64("LNUCA_INSTRUCTIONS") {
-        opts.instructions = v;
-    }
-    if let Some(v) = env_u64("LNUCA_BENCHMARKS_PER_SUITE") {
-        opts.benchmarks_per_suite = Some(v as usize);
-    }
-    if let Some(v) = env_u64("LNUCA_SEED") {
-        opts.seed = v;
-    }
-    if let Ok(v) = std::env::var("LNUCA_LEVELS") {
-        let levels: Vec<u8> = v
-            .split(',')
-            .filter_map(|s| s.trim().parse().ok())
-            .filter(|&l| (2..=8).contains(&l))
-            .collect();
-        if !levels.is_empty() {
-            opts.lnuca_levels = levels;
-        }
-    }
-    opts.threads = match env_u64("LNUCA_THREADS") {
-        Some(v) => usize::try_from(v).unwrap_or(usize::MAX).max(1),
-        None => default_threads(),
-    };
-    if let Ok(raw) = std::env::var("LNUCA_ENGINE") {
-        match parse_engine(&raw) {
-            Some(engine) => opts.engine = engine,
-            None => eprintln!(
-                "warning: ignoring LNUCA_ENGINE={raw:?}: expected \"event\" or \"cycle\", using the default"
-            ),
-        }
-    }
-    if let Ok(raw) = std::env::var("LNUCA_WORKLOADS") {
-        opts.workloads = parse_workloads(&raw);
-    }
-    opts
-}
-
-/// Parses an `LNUCA_WORKLOADS` value: a keyword selecting a predefined set,
-/// or a comma-separated list of profile names (resolved case-insensitively
-/// by `suites::by_name` when the study runs — a typo aborts the run with
-/// the full list of valid names rather than silently simulating nothing).
-fn parse_workloads(raw: &str) -> WorkloadSelection {
-    match raw.trim().to_ascii_lowercase().as_str() {
-        "" | "paper" | "default" => WorkloadSelection::Paper,
-        "extended" | "all" => WorkloadSelection::Extended,
-        "adversarial" | "adv" => WorkloadSelection::Adversarial,
-        _ => {
-            let names: Vec<String> = raw
-                .split(',')
-                .map(str::trim)
-                .filter(|s| !s.is_empty())
-                .map(str::to_owned)
-                .collect();
-            if names.is_empty() {
-                // Only separators/whitespace: an empty Named list would
-                // silently simulate nothing, so warn and use the default.
-                eprintln!(
-                    "warning: ignoring LNUCA_WORKLOADS={raw:?}: no workload names found, \
-                     using the paper suites"
-                );
-                WorkloadSelection::Paper
-            } else {
-                WorkloadSelection::Named(names)
-            }
-        }
-    }
-}
-
-/// Parses an `LNUCA_ENGINE` value; `None` for anything unrecognised.
-fn parse_engine(raw: &str) -> Option<Engine> {
-    match raw.trim().to_ascii_lowercase().as_str() {
-        "event" | "event-horizon" | "horizon" => Some(Engine::EventHorizon),
-        "cycle" | "cycle-step" | "step" | "naive" => Some(Engine::CycleStep),
-        _ => None,
-    }
-}
-
-/// The default worker-thread count: one per available hardware thread.
-#[must_use]
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-}
-
-/// `true` if `name` is set to anything but the empty string or `0`.
-fn env_flag(name: &str) -> bool {
-    std::env::var(name).is_ok_and(|v| !v.is_empty() && v != "0")
-}
-
-fn env_u64(name: &str) -> Option<u64> {
-    parse_env_u64(name, &std::env::var(name).ok()?)
-}
-
-/// Parses `raw` as a `u64`, warning on stderr (rather than silently falling
-/// back to the default) when the value is malformed.
-fn parse_env_u64(name: &str, raw: &str) -> Option<u64> {
-    match raw.trim().parse() {
-        Ok(v) => Some(v),
-        Err(_) => {
-            eprintln!(
-                "warning: ignoring {name}={raw:?}: expected an unsigned integer, using the default"
-            );
-            None
-        }
-    }
-}
+pub use knobs::{default_threads, options_from_env};
 
 /// Formats a floating-point value with three significant decimals.
 #[must_use]
@@ -186,36 +80,6 @@ mod tests {
         assert!(opts.instructions >= 1_000);
         assert!(!opts.lnuca_levels.is_empty());
         assert!(opts.threads >= 1);
-    }
-
-    #[test]
-    fn malformed_env_values_are_rejected_not_swallowed() {
-        // `parse_env_u64` is the pure core of `env_u64`; the warning itself
-        // goes to stderr and is not capturable here.
-        assert_eq!(parse_env_u64("LNUCA_INSTRUCTIONS", "10k"), None);
-        assert_eq!(parse_env_u64("LNUCA_INSTRUCTIONS", ""), None);
-        assert_eq!(parse_env_u64("LNUCA_SEED", "-3"), None);
-        assert_eq!(parse_env_u64("LNUCA_INSTRUCTIONS", " 250 "), Some(250));
-    }
-
-    #[test]
-    fn engine_values_parse_and_junk_is_rejected() {
-        assert_eq!(parse_engine("event"), Some(Engine::EventHorizon));
-        assert_eq!(parse_engine("Event-Horizon"), Some(Engine::EventHorizon));
-        assert_eq!(parse_engine("cycle"), Some(Engine::CycleStep));
-        assert_eq!(parse_engine(" naive "), Some(Engine::CycleStep));
-        assert_eq!(parse_engine("warp9"), None);
-    }
-
-    #[test]
-    fn workload_values_parse() {
-        assert_eq!(parse_workloads("paper"), WorkloadSelection::Paper);
-        assert_eq!(parse_workloads(" Extended "), WorkloadSelection::Extended);
-        assert_eq!(parse_workloads("ADV"), WorkloadSelection::Adversarial);
-        assert_eq!(
-            parse_workloads("int.compress, adv.gups"),
-            WorkloadSelection::Named(vec!["int.compress".to_owned(), "adv.gups".to_owned()])
-        );
     }
 
     #[test]

@@ -42,6 +42,14 @@ pub fn account_for(stats: &HierarchyStats, cycles: u64) -> EnergyAccount {
         let events = l2_stats.accesses + l2_stats.fills + stats.write_drains;
         account.add_dynamic(DYNAMIC, events as f64 * l2.read_pj);
     }
+    // Deep stacks (HierarchySpec-composed): every additional intermediate
+    // level is charged with the L2's per-event cost and leakage — the area
+    // model has no per-size table for arbitrary middles, and the L2 macro
+    // is the closest calibrated point.
+    for deeper in &stats.deeper_levels {
+        let events = deeper.accesses + deeper.fills;
+        account.add_dynamic(DYNAMIC, events as f64 * l2.read_pj);
+    }
     if let Some(l3_stats) = &stats.l3 {
         let mut events = l3_stats.accesses + l3_stats.fills;
         if stats.l2.is_none() {
@@ -73,6 +81,9 @@ pub fn account_for(stats: &HierarchyStats, cycles: u64) -> EnergyAccount {
     account.add_static(STATIC_L1, l1.static_energy_pj(cycles));
 
     if stats.l2.is_some() {
+        account.add_static(STATIC_SECOND, l2.static_energy_pj(cycles));
+    }
+    for _ in &stats.deeper_levels {
         account.add_static(STATIC_SECOND, l2.static_energy_pj(cycles));
     }
     if stats.lnuca.is_some() {

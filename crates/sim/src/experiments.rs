@@ -14,6 +14,7 @@
 
 use crate::configs::{self, HierarchyKind};
 use crate::energy_model;
+use crate::spec::HierarchySpec;
 use crate::system::{Engine, RunResult, System};
 use lnuca_energy::{AreaModel, PAPER_TABLE2};
 use lnuca_types::stats::harmonic_mean;
@@ -41,7 +42,40 @@ pub enum WorkloadSelection {
     Named(Vec<String>),
 }
 
+impl WorkloadSelection {
+    /// Parses one of the predefined-set keywords (`paper`/`default`,
+    /// `extended`/`all`, `adversarial`/`adv`), as the `LNUCA_WORKLOADS`
+    /// knob and the scenario files spell them. Explicit name lists are not
+    /// keywords; `None` for anything else.
+    #[must_use]
+    pub fn from_keyword(raw: &str) -> Option<Self> {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "" | "paper" | "default" => Some(WorkloadSelection::Paper),
+            "extended" | "all" => Some(WorkloadSelection::Extended),
+            "adversarial" | "adv" => Some(WorkloadSelection::Adversarial),
+            _ => None,
+        }
+    }
+
+    /// The keyword of a predefined selection (`None` for [`Self::Named`]).
+    #[must_use]
+    pub fn keyword(&self) -> Option<&'static str> {
+        match self {
+            WorkloadSelection::Paper => Some("paper"),
+            WorkloadSelection::Extended => Some("extended"),
+            WorkloadSelection::Adversarial => Some("adversarial"),
+            WorkloadSelection::Named(_) => None,
+        }
+    }
+}
+
 /// Knobs shared by every experiment.
+///
+/// `#[non_exhaustive]`: construct one with [`ExperimentOptions::builder`]
+/// (or start from [`ExperimentOptions::default`] / [`ExperimentOptions::quick`]
+/// and mutate fields) — three consecutive PRs added fields here by breaking
+/// every downstream struct literal; the builder ends that.
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExperimentOptions {
     /// Instructions simulated per (configuration, benchmark) pair.
@@ -95,6 +129,14 @@ impl ExperimentOptions {
         }
     }
 
+    /// Starts building options from [`ExperimentOptions::default`].
+    #[must_use]
+    pub fn builder() -> ExperimentOptionsBuilder {
+        ExperimentOptionsBuilder {
+            options: ExperimentOptions::default(),
+        }
+    }
+
     fn workloads(&self) -> Result<Vec<WorkloadProfile>, ConfigError> {
         let take = |v: Vec<WorkloadProfile>| -> Vec<WorkloadProfile> {
             match self.benchmarks_per_suite {
@@ -128,6 +170,244 @@ impl ExperimentOptions {
                     .collect::<Result<Vec<_>, _>>()?
             }
         })
+    }
+}
+
+/// Builder for [`ExperimentOptions`] (see [`ExperimentOptions::builder`]).
+#[derive(Debug, Clone)]
+pub struct ExperimentOptionsBuilder {
+    options: ExperimentOptions,
+}
+
+impl ExperimentOptionsBuilder {
+    /// Sets the instructions per (configuration, benchmark) pair.
+    #[must_use]
+    pub fn instructions(mut self, instructions: u64) -> Self {
+        self.options.instructions = instructions;
+        self
+    }
+
+    /// Sets the base seed for the synthetic traces.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.options.seed = seed;
+        self
+    }
+
+    /// Restricts each suite to its first N benchmarks.
+    #[must_use]
+    pub fn benchmarks_per_suite(mut self, n: Option<usize>) -> Self {
+        self.options.benchmarks_per_suite = n;
+        self
+    }
+
+    /// Sets which workload profiles the matrix runs over.
+    #[must_use]
+    pub fn workloads(mut self, workloads: WorkloadSelection) -> Self {
+        self.options.workloads = workloads;
+        self
+    }
+
+    /// Sets the L-NUCA level counts the deprecated study constructors (and
+    /// the built-in paper plans) expand into configurations.
+    #[must_use]
+    pub fn lnuca_levels(mut self, levels: Vec<u8>) -> Self {
+        self.options.lnuca_levels = levels;
+        self
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.options.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the time-stepping engine.
+    #[must_use]
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.options.engine = engine;
+        self
+    }
+
+    /// Produces the options (no validation needed — every field is clamped
+    /// or checked where it is consumed).
+    #[must_use]
+    pub fn build(self) -> ExperimentOptions {
+        self.options
+    }
+}
+
+/// A named, fully-declarative experiment: which hierarchy configurations to
+/// run (baseline first) over which workloads with which engine knobs.
+///
+/// This is the single entry point's input ([`Study::run`]); the scenario
+/// JSON files of `crate::scenario` deserialize into it, the built-in paper
+/// plans ([`ExperimentPlan::paper_conventional`] /
+/// [`ExperimentPlan::paper_dnuca`]) reproduce the deprecated
+/// [`Study::conventional`] / [`Study::dnuca`] matrices bit-identically.
+///
+/// # Example
+///
+/// ```
+/// use lnuca_sim::experiments::{ExperimentOptions, ExperimentPlan, Study};
+/// use lnuca_sim::spec::HierarchySpec;
+///
+/// let plan = ExperimentPlan::builder("fabric-only")
+///     .config(
+///         HierarchySpec::builder()
+///             .fabric(lnuca_core::LNucaConfig::paper(2)?)
+///             .build()?,
+///     )
+///     .options(
+///         ExperimentOptions::builder()
+///             .instructions(2_000)
+///             .benchmarks_per_suite(Some(1))
+///             .build(),
+///     )
+///     .build()?;
+/// let study = Study::run(&plan)?;
+/// assert_eq!(study.baseline, "LN2-72KB + mem");
+/// # Ok::<(), lnuca_types::ConfigError>(())
+/// ```
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentPlan {
+    /// Plan name (the scenario name when loaded from a file).
+    pub name: String,
+    /// The hierarchy configurations to evaluate; the first is the baseline
+    /// every summary normalises to.
+    pub configs: Vec<HierarchySpec>,
+    /// Run knobs (instructions, seed, workloads, threads, engine).
+    pub options: ExperimentOptions,
+}
+
+impl ExperimentPlan {
+    /// Starts building a plan named `name` with default options and no
+    /// configurations.
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> ExperimentPlanBuilder {
+        ExperimentPlanBuilder {
+            plan: ExperimentPlan {
+                name: name.into(),
+                configs: Vec::new(),
+                options: ExperimentOptions::default(),
+            },
+        }
+    }
+
+    /// The conventional-study plan: baseline `L2-256KB` plus one
+    /// `LNx + L3` configuration per entry of `options.lnuca_levels` —
+    /// exactly the matrix the deprecated [`Study::conventional`] ran.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if a level count is out of range.
+    pub fn paper_conventional(options: &ExperimentOptions) -> Result<Self, ConfigError> {
+        let mut builder = Self::builder("paper-conventional")
+            .config(HierarchyKind::Conventional(configs::conventional()).to_spec());
+        for &levels in &options.lnuca_levels {
+            let config = lnuca_core::LNucaConfig::paper(levels)?;
+            builder = builder.config(
+                HierarchySpec::builder()
+                    .fabric(config)
+                    .backing_cache(configs::paper_l3())
+                    .build()?,
+            );
+        }
+        builder.options(options.clone()).build()
+    }
+
+    /// The D-NUCA-study plan: baseline `DN-4x8` plus one `LNx + DN-4x8`
+    /// configuration per entry of `options.lnuca_levels` — exactly the
+    /// matrix the deprecated [`Study::dnuca`] ran.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if a level count is out of range.
+    pub fn paper_dnuca(options: &ExperimentOptions) -> Result<Self, ConfigError> {
+        let mut builder = Self::builder("paper-dnuca")
+            .config(HierarchyKind::DNuca(configs::dnuca_hierarchy()).to_spec());
+        for &levels in &options.lnuca_levels {
+            let config = lnuca_core::LNucaConfig::paper(levels)?;
+            builder = builder.config(
+                HierarchySpec::builder()
+                    .fabric(config)
+                    .backing_dnuca(lnuca_dnuca::DNucaConfig::paper())
+                    .build()?,
+            );
+        }
+        builder.options(options.clone()).build()
+    }
+
+    /// The label of the baseline configuration (the first one).
+    #[must_use]
+    pub fn baseline_label(&self) -> String {
+        self.configs
+            .first()
+            .map(HierarchySpec::label)
+            .unwrap_or_default()
+    }
+}
+
+/// Builder for [`ExperimentPlan`] (see [`ExperimentPlan::builder`]).
+#[derive(Debug, Clone)]
+pub struct ExperimentPlanBuilder {
+    plan: ExperimentPlan,
+}
+
+impl ExperimentPlanBuilder {
+    /// Appends one configuration (the first appended is the baseline).
+    #[must_use]
+    pub fn config(mut self, spec: HierarchySpec) -> Self {
+        self.plan.configs.push(spec);
+        self
+    }
+
+    /// Appends several configurations in order.
+    #[must_use]
+    pub fn configs(mut self, specs: impl IntoIterator<Item = HierarchySpec>) -> Self {
+        self.plan.configs.extend(specs);
+        self
+    }
+
+    /// Sets the run options.
+    #[must_use]
+    pub fn options(mut self, options: ExperimentOptions) -> Self {
+        self.plan.options = options;
+        self
+    }
+
+    /// Validates and produces the plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the plan has no configurations, a spec
+    /// is invalid, or two configurations share a label (summaries group
+    /// results by label, so duplicates would silently merge).
+    pub fn build(self) -> Result<ExperimentPlan, ConfigError> {
+        if self.plan.configs.is_empty() {
+            return Err(ConfigError::new(
+                "configs",
+                "an experiment plan needs at least one hierarchy configuration",
+            ));
+        }
+        let mut labels: Vec<String> = Vec::new();
+        for spec in &self.plan.configs {
+            spec.validate()?;
+            let label = spec.label();
+            if labels.contains(&label) {
+                return Err(ConfigError::new(
+                    "configs",
+                    format!(
+                        "two configurations derive the label {label:?}; set an explicit \
+                         label on one of them"
+                    ),
+                ));
+            }
+            labels.push(label);
+        }
+        Ok(self.plan)
     }
 }
 
@@ -251,12 +531,13 @@ impl Study {
     /// # Errors
     ///
     /// Returns a [`ConfigError`] if any configuration is invalid.
+    #[deprecated(
+        since = "0.1.0",
+        note = "compose an ExperimentPlan (ExperimentPlan::paper_conventional, or a scenario \
+                file through lnuca_sim::scenario) and call Study::run"
+    )]
     pub fn conventional(opts: &ExperimentOptions) -> Result<Self, ConfigError> {
-        let mut kinds = vec![HierarchyKind::Conventional(configs::conventional())];
-        for &levels in &opts.lnuca_levels {
-            kinds.push(HierarchyKind::LNucaL3(configs::lnuca_hierarchy(levels)));
-        }
-        Self::run(kinds, opts)
+        Self::run(&ExperimentPlan::paper_conventional(opts)?)
     }
 
     /// Runs the D-NUCA study (baseline `DN-4x8` plus L-NUCA + D-NUCA
@@ -265,23 +546,43 @@ impl Study {
     /// # Errors
     ///
     /// Returns a [`ConfigError`] if any configuration is invalid.
+    #[deprecated(
+        since = "0.1.0",
+        note = "compose an ExperimentPlan (ExperimentPlan::paper_dnuca, or a scenario file \
+                through lnuca_sim::scenario) and call Study::run"
+    )]
     pub fn dnuca(opts: &ExperimentOptions) -> Result<Self, ConfigError> {
-        let mut kinds = vec![HierarchyKind::DNuca(configs::dnuca_hierarchy())];
-        for &levels in &opts.lnuca_levels {
-            kinds.push(HierarchyKind::LNucaDNuca(configs::lnuca_dnuca_hierarchy(levels)));
-        }
-        Self::run(kinds, opts)
+        Self::run(&ExperimentPlan::paper_dnuca(opts)?)
     }
 
-    fn run(kinds: Vec<HierarchyKind>, opts: &ExperimentOptions) -> Result<Self, ConfigError> {
+    /// Runs an [`ExperimentPlan`]: every configuration × every selected
+    /// workload, fanned out over `plan.options.threads` workers, outcomes
+    /// collected in job order (bit-identical to a sequential run).
+    ///
+    /// This is the one experiment entry point; the deprecated
+    /// [`Study::conventional`] / [`Study::dnuca`] constructors are thin
+    /// shims over the built-in paper plans.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the plan is empty, a configuration is
+    /// invalid, or a named workload does not exist.
+    pub fn run(plan: &ExperimentPlan) -> Result<Self, ConfigError> {
+        let opts = &plan.options;
         let workloads = opts.workloads()?;
-        let baseline = kinds[0].label();
-        let configs: Vec<String> = kinds.iter().map(HierarchyKind::label).collect();
-        let mut jobs = Vec::with_capacity(kinds.len() * workloads.len());
-        for kind in &kinds {
+        if plan.configs.is_empty() {
+            return Err(ConfigError::new(
+                "configs",
+                "an experiment plan needs at least one hierarchy configuration",
+            ));
+        }
+        let configs: Vec<String> = plan.configs.iter().map(HierarchySpec::label).collect();
+        let baseline = configs[0].clone();
+        let mut jobs = Vec::with_capacity(plan.configs.len() * workloads.len());
+        for spec in &plan.configs {
             for (i, profile) in workloads.iter().enumerate() {
                 jobs.push(Job {
-                    kind,
+                    spec,
                     profile,
                     seed: opts.seed.wrapping_add(i as u64),
                 });
@@ -439,7 +740,7 @@ impl Study {
 
 /// One (configuration, benchmark) cell of the experiment matrix.
 struct Job<'a> {
-    kind: &'a HierarchyKind,
+    spec: &'a HierarchySpec,
     profile: &'a WorkloadProfile,
     seed: u64,
 }
@@ -448,7 +749,7 @@ type JobOutcome = Result<(RunResult, RunPerf), ConfigError>;
 
 fn run_job(job: &Job<'_>, instructions: u64, engine: Engine) -> JobOutcome {
     let started = Instant::now();
-    let result = System::run_workload_with(engine, job.kind, job.profile, instructions, job.seed)?;
+    let result = System::run_spec_with(engine, job.spec, job.profile, instructions, job.seed)?;
     let wall = started.elapsed();
     let wall_nanos = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
     let seconds = wall.as_secs_f64();
@@ -587,6 +888,16 @@ pub fn headline(study: &Study) -> HeadlineSummary {
 mod tests {
     use super::*;
 
+    /// The plan-path equivalent of the deprecated `Study::conventional`.
+    fn conventional(opts: &ExperimentOptions) -> Result<Study, ConfigError> {
+        Study::run(&ExperimentPlan::paper_conventional(opts)?)
+    }
+
+    /// The plan-path equivalent of the deprecated `Study::dnuca`.
+    fn dnuca(opts: &ExperimentOptions) -> Result<Study, ConfigError> {
+        Study::run(&ExperimentPlan::paper_dnuca(opts)?)
+    }
+
     #[test]
     fn area_table_contains_all_four_configurations_and_paper_values() {
         let rows = area_table();
@@ -601,7 +912,7 @@ mod tests {
     #[test]
     fn quick_conventional_study_produces_all_summaries() {
         let opts = ExperimentOptions::quick();
-        let study = Study::conventional(&opts).unwrap();
+        let study = conventional(&opts).unwrap();
         // 3 configs (baseline + LN2 + LN3) x 4 workloads (2 per suite).
         assert_eq!(study.configs.len(), 3);
         assert_eq!(study.results.len(), 3 * 4);
@@ -632,7 +943,7 @@ mod tests {
         let mut opts = ExperimentOptions::quick();
         opts.lnuca_levels = vec![2];
         opts.benchmarks_per_suite = Some(1);
-        let study = Study::dnuca(&opts).unwrap();
+        let study = dnuca(&opts).unwrap();
         assert_eq!(study.baseline, "DN-4x8");
         assert_eq!(study.configs.len(), 2);
         let ipc = study.ipc_summary();
@@ -649,7 +960,7 @@ mod tests {
         opts.benchmarks_per_suite = None;
 
         opts.workloads = WorkloadSelection::Adversarial;
-        let adv = Study::conventional(&opts).unwrap();
+        let adv = conventional(&opts).unwrap();
         // 2 configs x 4 adversarial classes.
         assert_eq!(adv.results.len(), 2 * 4);
         assert!(adv.results.iter().any(|r| r.workload == "adv.pointer_chase"));
@@ -658,12 +969,12 @@ mod tests {
             "ADV.GUPS".to_owned(),
             "int.compress".to_owned(),
         ]);
-        let named = Study::conventional(&opts).unwrap();
+        let named = conventional(&opts).unwrap();
         assert_eq!(named.results.len(), 2 * 2);
         assert_eq!(named.results[0].workload, "adv.gups", "names resolve case-insensitively");
 
         opts.workloads = WorkloadSelection::Named(vec!["no.such.workload".to_owned()]);
-        let err = Study::conventional(&opts).unwrap_err().to_string();
+        let err = conventional(&opts).unwrap_err().to_string();
         assert!(err.contains("no.such.workload"));
         assert!(err.contains("adv.phase_mix"), "error lists the valid names: {err}");
     }
@@ -675,7 +986,7 @@ mod tests {
         opts.lnuca_levels = vec![2];
         opts.benchmarks_per_suite = Some(1);
         opts.workloads = WorkloadSelection::Extended;
-        let study = Study::conventional(&opts).unwrap();
+        let study = conventional(&opts).unwrap();
         // 2 configs x (1 INT + 1 FP + 1 adversarial) — the per-suite cap
         // applies to the adversarial group too.
         assert_eq!(study.results.len(), 2 * 3);
@@ -686,9 +997,9 @@ mod tests {
         let mut opts = ExperimentOptions::quick();
         opts.instructions = 3_000;
         opts.lnuca_levels = vec![2];
-        let sequential = Study::conventional(&opts).unwrap();
+        let sequential = conventional(&opts).unwrap();
         opts.threads = 3;
-        let parallel = Study::conventional(&opts).unwrap();
+        let parallel = conventional(&opts).unwrap();
         assert_eq!(sequential.results, parallel.results);
         assert_eq!(sequential.configs, parallel.configs);
         // Perf is recorded for every run either way (values are host noise).
@@ -703,7 +1014,7 @@ mod tests {
         opts.lnuca_levels = vec![2];
         opts.benchmarks_per_suite = Some(1);
         opts.threads = 64;
-        let study = Study::conventional(&opts).unwrap();
+        let study = conventional(&opts).unwrap();
         assert_eq!(study.results.len(), 2 * 2);
         assert_eq!(study.perf.len(), study.results.len());
     }
@@ -713,7 +1024,7 @@ mod tests {
         let mut opts = ExperimentOptions::quick();
         opts.lnuca_levels = vec![3];
         opts.benchmarks_per_suite = Some(1);
-        let study = Study::conventional(&opts).unwrap();
+        let study = conventional(&opts).unwrap();
         let h = headline(&study);
         assert!(h.area_change_pct < 0.0, "LN3 must save area vs L2-256KB");
         assert!(h.int_ipc_gain_pct.is_finite());

@@ -1,10 +1,10 @@
 //! The hierarchies with a conventional L1 in front: the 3-level baseline
 //! (Fig. 1(a)) and L1 + D-NUCA (Fig. 1(c)).
 
-use crate::configs::{self, ConventionalConfig, DNucaOnlyConfig};
+use crate::configs::{self, ConventionalConfig, DNucaOnlyConfig, HierarchyKind};
 use crate::hierarchy::{HierarchyStats, OuterLevel};
+use crate::spec::HierarchySpec;
 use lnuca_cpu::DataMemory;
-use lnuca_dnuca::DNuca;
 use lnuca_mem::{
     AccessClass, AccessOutcome, ConventionalCache, MainMemory, MshrAllocation, MshrFile, NoProbe,
     ProbeEvent, ProbeSink, WriteBuffer,
@@ -73,62 +73,72 @@ impl ClassicHierarchy {
     pub fn dnuca(config: &DNucaOnlyConfig) -> Result<Self, ConfigError> {
         Self::dnuca_probed(config, NoProbe)
     }
+
+    /// Builds the fabric-less hierarchy described by `spec` without
+    /// instrumentation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the spec has a fabric (use
+    /// [`crate::hierarchy::LNucaHierarchy`]) or any component is invalid.
+    pub fn from_spec(spec: &HierarchySpec) -> Result<Self, ConfigError> {
+        Self::from_spec_probed(spec, NoProbe)
+    }
 }
 
 impl<P: ProbeSink> ClassicHierarchy<P> {
     /// Builds the conventional three-level hierarchy reporting functional
-    /// transitions to `probe`.
+    /// transitions to `probe` (a thin wrapper lowering the paper config to
+    /// its [`HierarchySpec`]).
     ///
     /// # Errors
     ///
     /// Returns a [`ConfigError`] if any component configuration is invalid.
     pub fn conventional_probed(config: &ConventionalConfig, probe: P) -> Result<Self, ConfigError> {
-        let label = crate::configs::HierarchyKind::Conventional(config.clone()).label();
-        Ok(ClassicHierarchy {
-            label,
-            l1: ConventionalCache::new(config.l1.clone())?,
-            l1_mshrs: MshrFile::new(
-                configs::L1_MSHRS,
-                configs::MSHR_SECONDARY,
-                config.l1.block_size,
-            )?,
-            write_buffer: WriteBuffer::new(configs::WRITE_BUFFER_ENTRIES, config.l2.block_size)?,
-            outer: OuterLevel::L2L3 {
-                l2: ConventionalCache::new(config.l2.clone())?,
-                l3: ConventionalCache::new(config.l3.clone())?,
-            },
-            memory: MainMemory::new(config.memory)?,
-            probe,
-            outstanding: [None; configs::L1_MSHRS],
-            completions: VecDeque::new(),
-            write_drains: 0,
-        })
+        Self::from_spec_probed(&HierarchyKind::Conventional(config.clone()).to_spec(), probe)
     }
 
     /// Builds the L1 + D-NUCA hierarchy reporting functional transitions to
-    /// `probe`.
+    /// `probe` (a thin wrapper lowering the paper config to its
+    /// [`HierarchySpec`]).
     ///
     /// # Errors
     ///
     /// Returns a [`ConfigError`] if any component configuration is invalid.
     pub fn dnuca_probed(config: &DNucaOnlyConfig, probe: P) -> Result<Self, ConfigError> {
-        let label = crate::configs::HierarchyKind::DNuca(config.clone()).label();
+        Self::from_spec_probed(&HierarchyKind::DNuca(config.clone()).to_spec(), probe)
+    }
+
+    /// Builds the fabric-less hierarchy described by `spec`, reporting
+    /// functional transitions to `probe`: the root cache in front of the
+    /// spec's intermediate chain and backing store.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the spec has a fabric (use
+    /// [`crate::hierarchy::LNucaHierarchy`]) or any component is invalid.
+    pub fn from_spec_probed(spec: &HierarchySpec, probe: P) -> Result<Self, ConfigError> {
+        if spec.fabric.is_some() {
+            return Err(ConfigError::new(
+                "fabric",
+                "ClassicHierarchy models fabric-less hierarchies; build an LNucaHierarchy instead",
+            ));
+        }
+        spec.validate()?;
         Ok(ClassicHierarchy {
-            label,
-            l1: ConventionalCache::new(config.l1.clone())?,
+            label: spec.label(),
+            l1: ConventionalCache::new(spec.root.clone())?,
             l1_mshrs: MshrFile::new(
                 configs::L1_MSHRS,
                 configs::MSHR_SECONDARY,
-                config.l1.block_size,
+                spec.root.block_size,
             )?,
             write_buffer: WriteBuffer::new(
                 configs::WRITE_BUFFER_ENTRIES,
-                config.dnuca.block_size,
+                spec.below_root_block_size(),
             )?,
-            outer: OuterLevel::DNuca {
-                dnuca: DNuca::new(config.dnuca.clone())?,
-            },
-            memory: MainMemory::new(config.memory)?,
+            outer: OuterLevel::from_spec(spec)?,
+            memory: MainMemory::new(spec.memory)?,
             probe,
             outstanding: [None; configs::L1_MSHRS],
             completions: VecDeque::new(),
@@ -167,6 +177,7 @@ impl<P: ProbeSink> ClassicHierarchy<P> {
             label: self.label.clone(),
             l1: *self.l1.stats(),
             l2: self.outer.l2_stats(),
+            deeper_levels: self.outer.deeper_stats(),
             l3: self.outer.l3_stats(),
             lnuca: None,
             lnuca_tiles: 0,

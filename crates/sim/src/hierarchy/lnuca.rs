@@ -1,11 +1,11 @@
 //! The hierarchies with an L-NUCA fabric behind the root tile:
 //! L-NUCA + L3 (Fig. 1(b)) and L-NUCA + D-NUCA (Fig. 1(d)).
 
-use crate::configs::{self, LNucaDNucaConfig, LNucaL3Config};
+use crate::configs::{self, HierarchyKind, LNucaDNucaConfig, LNucaL3Config};
 use crate::hierarchy::{HierarchyStats, OuterLevel};
+use crate::spec::HierarchySpec;
 use lnuca_core::LNuca;
 use lnuca_cpu::DataMemory;
-use lnuca_dnuca::DNuca;
 use lnuca_mem::{
     AccessClass, AccessOutcome, ConventionalCache, MainMemory, MshrAllocation, MshrFile, NoProbe,
     ProbeEvent, ProbeSink, WriteBuffer,
@@ -90,69 +90,74 @@ impl LNucaHierarchy {
     pub fn with_dnuca(config: &LNucaDNucaConfig) -> Result<Self, ConfigError> {
         Self::with_dnuca_probed(config, NoProbe)
     }
+
+    /// Builds the fabric hierarchy described by `spec` without
+    /// instrumentation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the spec has no fabric (use
+    /// [`crate::hierarchy::ClassicHierarchy`]) or any component is invalid.
+    pub fn from_spec(spec: &HierarchySpec) -> Result<Self, ConfigError> {
+        Self::from_spec_probed(spec, NoProbe)
+    }
 }
 
 impl<P: ProbeSink> LNucaHierarchy<P> {
     /// Builds the L-NUCA + L3 hierarchy reporting functional transitions to
-    /// `probe`.
+    /// `probe` (a thin wrapper lowering the paper config to its
+    /// [`HierarchySpec`]).
     ///
     /// # Errors
     ///
     /// Returns a [`ConfigError`] if any component configuration is invalid.
     pub fn with_l3_probed(config: &LNucaL3Config, probe: P) -> Result<Self, ConfigError> {
-        let label = crate::configs::HierarchyKind::LNucaL3(config.clone()).label();
-        Self::build(
-            label,
-            probe,
-            &config.l1,
-            config.lnuca.clone(),
-            OuterLevel::L3Only {
-                l3: ConventionalCache::new(config.l3.clone())?,
-            },
-            config.memory,
-            config.l3.block_size,
-        )
+        Self::from_spec_probed(&HierarchyKind::LNucaL3(config.clone()).to_spec(), probe)
     }
 
     /// Builds the L-NUCA + D-NUCA hierarchy reporting functional transitions
-    /// to `probe`.
+    /// to `probe` (a thin wrapper lowering the paper config to its
+    /// [`HierarchySpec`]).
     ///
     /// # Errors
     ///
     /// Returns a [`ConfigError`] if any component configuration is invalid.
     pub fn with_dnuca_probed(config: &LNucaDNucaConfig, probe: P) -> Result<Self, ConfigError> {
-        let label = crate::configs::HierarchyKind::LNucaDNuca(config.clone()).label();
-        Self::build(
-            label,
-            probe,
-            &config.l1,
-            config.lnuca.clone(),
-            OuterLevel::DNuca {
-                dnuca: DNuca::new(config.dnuca.clone())?,
-            },
-            config.memory,
-            config.dnuca.block_size,
-        )
+        Self::from_spec_probed(&HierarchyKind::LNucaDNuca(config.clone()).to_spec(), probe)
     }
 
-    fn build(
-        label: String,
-        probe: P,
-        l1: &lnuca_mem::CacheConfig,
-        lnuca: lnuca_core::LNucaConfig,
-        outer: OuterLevel,
-        memory: lnuca_mem::MemoryConfig,
-        outer_block: u64,
-    ) -> Result<Self, ConfigError> {
+    /// Builds the fabric hierarchy described by `spec`, reporting functional
+    /// transitions to `probe`: the root tile, the fabric, and the spec's
+    /// intermediate chain and backing store behind them.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the spec has no fabric (use
+    /// [`crate::hierarchy::ClassicHierarchy`]) or any component is invalid.
+    pub fn from_spec_probed(spec: &HierarchySpec, probe: P) -> Result<Self, ConfigError> {
+        let Some(fabric) = spec.fabric.clone() else {
+            return Err(ConfigError::new(
+                "fabric",
+                "LNucaHierarchy needs a fabric; build a ClassicHierarchy instead",
+            ));
+        };
+        spec.validate()?;
         Ok(LNucaHierarchy {
-            label,
+            label: spec.label(),
             probe,
-            l1: ConventionalCache::new(l1.clone())?,
-            l1_mshrs: MshrFile::new(configs::L1_MSHRS, configs::MSHR_SECONDARY, l1.block_size)?,
-            fabric: LNuca::new(lnuca)?,
-            outer,
-            memory: MainMemory::new(memory)?,
-            write_buffer: WriteBuffer::new(configs::WRITE_BUFFER_ENTRIES, outer_block)?,
+            l1: ConventionalCache::new(spec.root.clone())?,
+            l1_mshrs: MshrFile::new(
+                configs::L1_MSHRS,
+                configs::MSHR_SECONDARY,
+                spec.root.block_size,
+            )?,
+            fabric: LNuca::new(fabric)?,
+            outer: OuterLevel::from_spec(spec)?,
+            memory: MainMemory::new(spec.memory)?,
+            write_buffer: WriteBuffer::new(
+                configs::WRITE_BUFFER_ENTRIES,
+                spec.below_root_block_size(),
+            )?,
             pending_searches: VecDeque::new(),
             waiters: (0..configs::L1_MSHRS)
                 .map(|_| WaiterSlot {
@@ -175,7 +180,8 @@ impl<P: ProbeSink> LNucaHierarchy<P> {
         HierarchyStats {
             label: self.label.clone(),
             l1: *self.l1.stats(),
-            l2: None,
+            l2: self.outer.l2_stats(),
+            deeper_levels: self.outer.deeper_stats(),
             l3: self.outer.l3_stats(),
             lnuca: Some(self.fabric.stats().clone()),
             lnuca_tiles: self.fabric.geometry().tile_count(),

@@ -7,7 +7,7 @@ mod outer;
 
 pub use classic::ClassicHierarchy;
 pub use lnuca::LNucaHierarchy;
-pub use outer::OuterLevel;
+pub use outer::{Backing, OuterLevel};
 
 use lnuca_cpu::DataMemory;
 use lnuca_mem::{NoProbe, ProbeSink};
@@ -22,9 +22,14 @@ pub struct HierarchyStats {
     pub label: String,
     /// L1 / root-tile counters.
     pub l1: lnuca_mem::CacheStats,
-    /// L2 counters, if the hierarchy has a conventional L2.
+    /// L2 counters, if the hierarchy has a conventional L2 (the first
+    /// intermediate level of the spec).
     pub l2: Option<lnuca_mem::CacheStats>,
-    /// L3 counters, if the hierarchy has an L3.
+    /// Counters of the intermediate conventional levels beyond the first,
+    /// nearest first. Empty for every paper shape; populated only by deep
+    /// stacks composed through `crate::spec::HierarchySpec`.
+    pub deeper_levels: Vec<lnuca_mem::CacheStats>,
+    /// L3 counters, if the hierarchy has an L3 (a cache backing).
     pub l3: Option<lnuca_mem::CacheStats>,
     /// L-NUCA fabric counters, if the hierarchy has a fabric.
     pub lnuca: Option<lnuca_core::LNucaStats>,

@@ -8,27 +8,40 @@
 //!
 //! * [`configs`] — the paper's four hierarchy configurations (Fig. 1) with
 //!   all Table I parameters as defaults,
-//! * [`hierarchy`] — [`ClassicHierarchy`] (conventional 3-level and
-//!   L1 + D-NUCA) and [`LNucaHierarchy`] (L-NUCA + L3 and
-//!   L-NUCA + D-NUCA), both implementing [`lnuca_cpu::DataMemory`],
+//! * [`spec`] — the declarative [`HierarchySpec`]: root cache + optional
+//!   L-NUCA fabric + intermediate cache chain + L3/D-NUCA/memory backing,
+//!   subsuming all four [`HierarchyKind`] variants and admitting shapes the
+//!   closed enum could not express,
+//! * [`hierarchy`] — [`ClassicHierarchy`] (fabric-less) and
+//!   [`LNucaHierarchy`] (fabric-fronted), both built from specs and
+//!   implementing [`lnuca_cpu::DataMemory`],
 //! * [`system`] — a [`System`] = core + hierarchy, runnable for a given
 //!   instruction budget,
 //! * [`energy_model`] — turns run statistics into the stacked-bar energy
 //!   accounts of Figs. 4(b) and 5(b),
-//! * [`experiments`] — one entry point per paper table/figure,
+//! * [`experiments`] — the declarative [`ExperimentPlan`] and the single
+//!   [`Study::run`] entry point (the per-study constructors are deprecated
+//!   shims over the built-in paper plans),
+//! * [`scenario`] — `lnuca-scenario/v1` JSON documents for plans, the
+//!   built-in scenario registry and the `lnuca-report/v1` emitter,
 //! * [`report`] — plain-text table formatting shared by the bench binaries.
 //!
 //! # Example
 //!
 //! ```
-//! use lnuca_sim::configs::{self, HierarchyKind};
+//! use lnuca_sim::spec::HierarchySpec;
 //! use lnuca_sim::system::System;
 //! use lnuca_workloads::suites;
 //!
+//! // The paper's 2-level L-NUCA in front of the 8 MB L3, as a composed spec.
+//! let spec = HierarchySpec::builder()
+//!     .fabric(lnuca_core::LNucaConfig::paper(2)?)
+//!     .backing_cache(lnuca_sim::configs::paper_l3())
+//!     .build()?;
 //! let profile = suites::spec_int_like()[0].clone();
-//! let config = configs::lnuca_hierarchy(2);
-//! let result = System::run_workload(&HierarchyKind::LNucaL3(config), &profile, 20_000, 1)?;
+//! let result = System::run_spec(&spec, &profile, 20_000, 1)?;
 //! assert!(result.ipc > 0.0);
+//! assert_eq!(result.label, "LN2-72KB");
 //! # Ok::<(), lnuca_types::ConfigError>(())
 //! ```
 
@@ -40,8 +53,12 @@ pub mod energy_model;
 pub mod experiments;
 pub mod hierarchy;
 pub mod report;
+pub mod scenario;
+pub mod spec;
 pub mod system;
 
 pub use configs::HierarchyKind;
+pub use experiments::{ExperimentPlan, Study};
 pub use hierarchy::{ClassicHierarchy, HierarchyStats, LNucaHierarchy};
+pub use spec::{BackingSpec, HierarchySpec, IntermediateSpec};
 pub use system::{Engine, RunResult, System};

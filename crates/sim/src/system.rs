@@ -3,6 +3,7 @@
 use crate::configs::HierarchyKind;
 use crate::energy_model;
 use crate::hierarchy::{AnyHierarchy, ClassicHierarchy, HierarchyStats, LNucaHierarchy};
+use crate::spec::HierarchySpec;
 use lnuca_cpu::{CoreConfig, CoreStats, DataMemory, OooCore};
 use lnuca_energy::EnergyAccount;
 use lnuca_mem::{NoProbe, ProbeSink};
@@ -36,6 +37,17 @@ impl Engine {
         match self {
             Engine::CycleStep => "cycle-step",
             Engine::EventHorizon => "event-horizon",
+        }
+    }
+
+    /// Parses an engine name as the `LNUCA_ENGINE` knob and the scenario
+    /// files spell it; `None` for anything unrecognised.
+    #[must_use]
+    pub fn parse(raw: &str) -> Option<Engine> {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "event" | "event-horizon" | "horizon" => Some(Engine::EventHorizon),
+            "cycle" | "cycle-step" | "step" | "naive" => Some(Engine::CycleStep),
+            _ => None,
         }
     }
 }
@@ -96,7 +108,9 @@ impl System {
     }
 
     /// Instantiates the hierarchy described by `kind` with functional
-    /// instrumentation reporting to `probe` (DESIGN.md §11).
+    /// instrumentation reporting to `probe` (DESIGN.md §11). The enum is
+    /// lowered to its [`HierarchySpec`] first; the spec path is the one
+    /// implementation.
     ///
     /// # Errors
     ///
@@ -105,15 +119,34 @@ impl System {
         kind: &HierarchyKind,
         probe: P,
     ) -> Result<AnyHierarchy<P>, ConfigError> {
-        Ok(match kind {
-            HierarchyKind::Conventional(c) => {
-                AnyHierarchy::Classic(ClassicHierarchy::conventional_probed(c, probe)?)
-            }
-            HierarchyKind::DNuca(c) => AnyHierarchy::Classic(ClassicHierarchy::dnuca_probed(c, probe)?),
-            HierarchyKind::LNucaL3(c) => AnyHierarchy::LNuca(LNucaHierarchy::with_l3_probed(c, probe)?),
-            HierarchyKind::LNucaDNuca(c) => {
-                AnyHierarchy::LNuca(LNucaHierarchy::with_dnuca_probed(c, probe)?)
-            }
+        Self::build_spec_probed(&kind.to_spec(), probe)
+    }
+
+    /// Instantiates the hierarchy described by `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the composition is invalid.
+    pub fn build_spec(spec: &HierarchySpec) -> Result<AnyHierarchy, ConfigError> {
+        Self::build_spec_probed(spec, NoProbe)
+    }
+
+    /// Instantiates the hierarchy described by `spec` with functional
+    /// instrumentation reporting to `probe`: a
+    /// [`crate::hierarchy::LNucaHierarchy`] when the spec has a fabric, a
+    /// [`crate::hierarchy::ClassicHierarchy`] otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the composition is invalid.
+    pub fn build_spec_probed<P: ProbeSink>(
+        spec: &HierarchySpec,
+        probe: P,
+    ) -> Result<AnyHierarchy<P>, ConfigError> {
+        Ok(if spec.fabric.is_some() {
+            AnyHierarchy::LNuca(LNucaHierarchy::from_spec_probed(spec, probe)?)
+        } else {
+            AnyHierarchy::Classic(ClassicHierarchy::from_spec_probed(spec, probe)?)
         })
     }
 
@@ -172,7 +205,57 @@ impl System {
         seed: u64,
         probe: P,
     ) -> Result<(RunResult, AnyHierarchy<P>), ConfigError> {
-        let mut hierarchy = Self::build_hierarchy_probed(kind, probe)?;
+        Self::run_spec_probed(engine, &kind.to_spec(), profile, instructions, seed, probe)
+    }
+
+    /// Runs `instructions` instructions of `profile` on the hierarchy
+    /// described by `spec`, with the default [`Engine::EventHorizon`] time
+    /// stepping.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the composition is invalid.
+    pub fn run_spec(
+        spec: &HierarchySpec,
+        profile: &WorkloadProfile,
+        instructions: u64,
+        seed: u64,
+    ) -> Result<RunResult, ConfigError> {
+        Self::run_spec_with(Engine::EventHorizon, spec, profile, instructions, seed)
+    }
+
+    /// Runs `instructions` instructions of `profile` on the hierarchy
+    /// described by `spec`, advancing time with the given [`Engine`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the composition is invalid.
+    pub fn run_spec_with(
+        engine: Engine,
+        spec: &HierarchySpec,
+        profile: &WorkloadProfile,
+        instructions: u64,
+        seed: u64,
+    ) -> Result<RunResult, ConfigError> {
+        Self::run_spec_probed(engine, spec, profile, instructions, seed, NoProbe)
+            .map(|(result, _)| result)
+    }
+
+    /// The spec-level core of every run entry point: see
+    /// [`System::run_workload_probed`] for the probe semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the composition is invalid.
+    pub fn run_spec_probed<P: ProbeSink>(
+        engine: Engine,
+        spec: &HierarchySpec,
+        profile: &WorkloadProfile,
+        instructions: u64,
+        seed: u64,
+        probe: P,
+    ) -> Result<(RunResult, AnyHierarchy<P>), ConfigError> {
+        let mut hierarchy = Self::build_spec_probed(spec, probe)?;
         let trace =
             TraceGenerator::new(profile.clone(), seed).take(usize::try_from(instructions).unwrap_or(usize::MAX));
         let mut core = OooCore::new(CoreConfig::paper(), trace)?;

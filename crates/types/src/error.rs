@@ -56,6 +56,75 @@ impl fmt::Display for ConfigError {
 
 impl Error for ConfigError {}
 
+/// A lookup by name failed: the caller asked for something this registry
+/// does not contain.
+///
+/// Every "resolve a user-supplied name" path in the workspace — workload
+/// profiles (`suites::by_name`), built-in scenarios and configuration
+/// presets (the scenario loader) — reports misses through this one type, so
+/// a typo always fails with the same shape of message: what was asked for,
+/// what kind of thing it was supposed to be, and the complete list of valid
+/// names to pick from instead.
+///
+/// # Example
+///
+/// ```
+/// use lnuca_types::UnknownNameError;
+///
+/// let err = UnknownNameError::new("workload", "int.compres", ["int.compress", "adv.gups"]);
+/// let text = err.to_string();
+/// assert!(text.contains("unknown workload \"int.compres\""));
+/// assert!(text.contains("int.compress, adv.gups"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownNameError {
+    /// What kind of name was looked up ("workload", "scenario", "preset").
+    pub kind: &'static str,
+    /// The name that was asked for.
+    pub given: String,
+    /// Every name the registry would have accepted.
+    pub valid: Vec<String>,
+}
+
+impl UnknownNameError {
+    /// Creates an error for a failed `kind` lookup of `given`, listing the
+    /// `valid` alternatives.
+    pub fn new<I, S>(kind: &'static str, given: impl Into<String>, valid: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        UnknownNameError {
+            kind,
+            given: given.into(),
+            valid: valid.into_iter().map(Into::into).collect(),
+        }
+    }
+}
+
+impl fmt::Display for UnknownNameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown {} {:?}; valid names: {}",
+            self.kind,
+            self.given,
+            self.valid.join(", ")
+        )
+    }
+}
+
+impl Error for UnknownNameError {}
+
+impl From<UnknownNameError> for ConfigError {
+    /// Wraps the lookup failure so `?` keeps working in constructors that
+    /// report [`ConfigError`] — the full valid-name list survives into the
+    /// message.
+    fn from(err: UnknownNameError) -> Self {
+        ConfigError::new(format!("{} name", err.kind), err.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,5 +148,17 @@ mod tests {
     fn error_trait_is_implemented() {
         fn assert_error<T: std::error::Error + Send + Sync + 'static>() {}
         assert_error::<ConfigError>();
+        assert_error::<UnknownNameError>();
+    }
+
+    #[test]
+    fn unknown_name_lists_every_valid_alternative() {
+        let e = UnknownNameError::new("scenario", "papr", ["paper-conventional", "paper-dnuca"]);
+        let s = e.to_string();
+        assert!(s.contains("unknown scenario \"papr\""));
+        assert!(s.contains("paper-conventional, paper-dnuca"));
+        let cfg: ConfigError = e.into();
+        assert_eq!(cfg.parameter(), "scenario name");
+        assert!(cfg.to_string().contains("paper-dnuca"), "the list survives conversion");
     }
 }

@@ -29,6 +29,6 @@ pub mod stats;
 
 pub use addr::Addr;
 pub use cycle::Cycle;
-pub use error::ConfigError;
+pub use error::{ConfigError, UnknownNameError};
 pub use request::{AccessKind, MemRequest, MemResponse, ReqId, ServiceLevel};
 pub use size::ByteSize;

@@ -66,6 +66,11 @@ pub enum ServiceLevel {
     L2,
     /// The conventional third-level cache.
     L3,
+    /// An intermediate conventional cache at depth `d ≥ 1` behind the first
+    /// intermediate level (which reports [`ServiceLevel::L2`]). Only occurs
+    /// in deep stacks composed through `lnuca-sim`'s `HierarchySpec`; the
+    /// paper's hierarchies never produce it.
+    Intermediate(u8),
     /// A D-NUCA bank at the given row distance from the controller (0 = closest).
     DNucaRow(u8),
     /// Main memory.
@@ -98,6 +103,7 @@ impl fmt::Display for ServiceLevel {
             ServiceLevel::LNucaLevel(l) => write!(f, "Le{l}"),
             ServiceLevel::L2 => write!(f, "L2"),
             ServiceLevel::L3 => write!(f, "L3"),
+            ServiceLevel::Intermediate(d) => write!(f, "intermediate {d}"),
             ServiceLevel::DNucaRow(r) => write!(f, "D-NUCA row {r}"),
             ServiceLevel::Memory => write!(f, "memory"),
         }

@@ -4,11 +4,13 @@
 //! totals agree — for any hierarchy kind, workload, seed and engine.
 
 use crate::hierarchy::RefHierarchy;
+use crate::reference::RefBacking;
 use crate::recorder::RecordingProbe;
 use lnuca_cpu::DataMemory;
 use lnuca_mem::{Line, ProbeEvent};
 use lnuca_sim::configs::HierarchyKind;
-use lnuca_sim::hierarchy::{AnyHierarchy, HierarchyStats, OuterLevel};
+use lnuca_sim::hierarchy::{AnyHierarchy, Backing, HierarchyStats};
+use lnuca_sim::spec::HierarchySpec;
 use lnuca_sim::system::{Engine, System};
 use lnuca_types::Cycle;
 use lnuca_workloads::{TraceGenerator, WorkloadProfile};
@@ -75,7 +77,25 @@ pub fn run_differential(
     seed: u64,
     engine: Engine,
 ) -> Result<DifferentialReport, DifferentialError> {
-    run_differential_impl(kind, profile, instructions, seed, engine).map(|(report, _)| report)
+    run_differential_spec(&kind.to_spec(), profile, instructions, seed, engine)
+}
+
+/// Spec-level form of [`run_differential`]: verifies **any** hierarchy a
+/// [`HierarchySpec`] composes — fabric over bare memory, deep conventional
+/// stacks, non-paper tile sizes — not just the four paper kinds.
+///
+/// # Errors
+///
+/// Returns a [`DifferentialError`] describing the first divergence (or an
+/// invalid configuration).
+pub fn run_differential_spec(
+    spec: &HierarchySpec,
+    profile: &WorkloadProfile,
+    instructions: u64,
+    seed: u64,
+    engine: Engine,
+) -> Result<DifferentialReport, DifferentialError> {
+    run_differential_impl(spec, profile, instructions, seed, engine).map(|(report, _)| report)
 }
 
 /// The probed run as the engine comparison needs it: the [`RunResult`] and
@@ -86,7 +106,7 @@ struct LiveRun {
 }
 
 fn run_differential_impl(
-    kind: &HierarchyKind,
+    spec: &HierarchySpec,
     profile: &WorkloadProfile,
     instructions: u64,
     seed: u64,
@@ -94,7 +114,7 @@ fn run_differential_impl(
 ) -> Result<(DifferentialReport, LiveRun), DifferentialError> {
     let context = format!(
         "{} / {} / seed {} / {} / {} instructions",
-        kind.label(),
+        spec.label(),
         profile.name,
         seed,
         engine.label(),
@@ -105,9 +125,9 @@ fn run_differential_impl(
         details,
     };
 
-    let (result, mut hierarchy) = System::run_workload_probed(
+    let (result, mut hierarchy) = System::run_spec_probed(
         engine,
-        kind,
+        spec,
         profile,
         instructions,
         seed,
@@ -154,7 +174,7 @@ fn run_differential_impl(
 
     // 2. Replay the event stream through the reference model.
     let mut reference =
-        RefHierarchy::new(kind).map_err(|e| fail(vec![format!("reference build: {e}")]))?;
+        RefHierarchy::from_spec(spec).map_err(|e| fail(vec![format!("reference build: {e}")]))?;
     for (index, &event) in events.iter().enumerate() {
         reference
             .apply(event)
@@ -200,12 +220,26 @@ pub fn run_differential_both_engines(
     instructions: u64,
     seed: u64,
 ) -> Result<DifferentialReport, DifferentialError> {
+    run_differential_spec_both_engines(&kind.to_spec(), profile, instructions, seed)
+}
+
+/// Spec-level form of [`run_differential_both_engines`].
+///
+/// # Errors
+///
+/// Returns a [`DifferentialError`] on any divergence.
+pub fn run_differential_spec_both_engines(
+    spec: &HierarchySpec,
+    profile: &WorkloadProfile,
+    instructions: u64,
+    seed: u64,
+) -> Result<DifferentialReport, DifferentialError> {
     let (report, eh) =
-        run_differential_impl(kind, profile, instructions, seed, Engine::EventHorizon)?;
+        run_differential_impl(spec, profile, instructions, seed, Engine::EventHorizon)?;
 
     let context = format!(
         "{} / {} / seed {} / engine comparison",
-        kind.label(),
+        spec.label(),
         profile.name,
         seed
     );
@@ -213,9 +247,9 @@ pub fn run_differential_both_engines(
         context: context.clone(),
         details,
     };
-    let (result_cs, h_cs) = System::run_workload_probed(
+    let (result_cs, h_cs) = System::run_spec_probed(
         Engine::CycleStep,
-        kind,
+        spec,
         profile,
         instructions,
         seed,
@@ -317,15 +351,33 @@ fn check_residency(
         sorted_lines(l1.lines()),
         sorted_lines(reference.l1.lines()),
     );
-    match (outer, &reference.outer) {
-        (OuterLevel::L2L3 { l2, l3 }, crate::reference::RefOuter::L2L3 { l2: r2, l3: r3 }) => {
-            compare(&mut errors, "L2", sorted_lines(l2.lines()), sorted_lines(r2.lines()));
+    let detailed_intermediates: Vec<_> = outer.intermediate_caches().collect();
+    if detailed_intermediates.len() != reference.outer.intermediates.len() {
+        errors.push(format!(
+            "intermediate chain length differs: {} detailed vs {} reference",
+            detailed_intermediates.len(),
+            reference.outer.intermediates.len()
+        ));
+    } else {
+        for (i, (detailed, modelled)) in detailed_intermediates
+            .iter()
+            .zip(&reference.outer.intermediates)
+            .enumerate()
+        {
+            compare(
+                &mut errors,
+                &format!("intermediate[{i}]"),
+                sorted_lines(detailed.lines()),
+                sorted_lines(modelled.lines()),
+            );
+        }
+    }
+    match (outer.backing(), &reference.outer.backing) {
+        (Backing::Cache(l3), RefBacking::Cache(r3)) => {
             compare(&mut errors, "L3", sorted_lines(l3.lines()), sorted_lines(r3.lines()));
         }
-        (OuterLevel::L3Only { l3 }, crate::reference::RefOuter::L3Only { l3: r3 }) => {
-            compare(&mut errors, "L3", sorted_lines(l3.lines()), sorted_lines(r3.lines()));
-        }
-        (OuterLevel::DNuca { dnuca }, crate::reference::RefOuter::DNuca { dnuca: rd }) => {
+        (Backing::Memory { .. }, RefBacking::Memory) => {}
+        (Backing::DNuca(dnuca), RefBacking::DNuca(rd)) => {
             let mut detailed = dnuca.resident_lines();
             let mut modelled = rd.resident_lines();
             let key = |&(c, r, l): &(usize, usize, Line)| (c, r, l.addr.0, l.dirty);
@@ -341,7 +393,7 @@ fn check_residency(
                 ));
             }
         }
-        _ => errors.push("outer-level shapes differ between detailed and reference".to_owned()),
+        _ => errors.push("backing shapes differ between detailed and reference".to_owned()),
     }
     if let AnyHierarchy::LNuca(h) = hierarchy {
         compare(

@@ -3,10 +3,11 @@
 //! [`ProbeEvent`] stream through it, cross-checking every functional
 //! decision the detailed simulator made.
 
-use crate::reference::{RefCache, RefDnuca, RefOuter};
+use crate::reference::{RefBacking, RefCache, RefOuter};
 use lnuca_mem::{AccessClass, EvictedLine, ProbeEvent};
 use lnuca_sim::configs::HierarchyKind;
 use lnuca_sim::hierarchy::HierarchyStats;
+use lnuca_sim::spec::HierarchySpec;
 use lnuca_types::{Addr, ConfigError, ServiceLevel};
 use std::collections::BTreeMap;
 
@@ -73,59 +74,28 @@ pub struct RefHierarchy {
 }
 
 impl RefHierarchy {
-    /// Builds the reference model of `kind`.
+    /// Builds the reference model of `kind` (lowered to its spec).
     ///
     /// # Errors
     ///
     /// Returns a [`ConfigError`] for invalid or non-LRU configurations.
     pub fn new(kind: &HierarchyKind) -> Result<Self, ConfigError> {
-        let (l1, outer, fabric, levels) = match kind {
-            HierarchyKind::Conventional(c) => (
-                RefCache::new(&c.l1)?,
-                RefOuter::L2L3 {
-                    l2: RefCache::new(&c.l2)?,
-                    l3: RefCache::new(&c.l3)?,
-                },
-                None,
-                0,
-            ),
-            HierarchyKind::DNuca(c) => (
-                RefCache::new(&c.l1)?,
-                RefOuter::DNuca {
-                    dnuca: RefDnuca::new(&c.dnuca)?,
-                },
-                None,
-                0,
-            ),
-            HierarchyKind::LNucaL3(c) => (
-                RefCache::new(&c.l1)?,
-                RefOuter::L3Only {
-                    l3: RefCache::new(&c.l3)?,
-                },
-                Some(RefFabric::default()),
-                c.lnuca.levels,
-            ),
-            HierarchyKind::LNucaDNuca(c) => (
-                RefCache::new(&c.l1)?,
-                RefOuter::DNuca {
-                    dnuca: RefDnuca::new(&c.dnuca)?,
-                },
-                Some(RefFabric::default()),
-                c.lnuca.levels,
-            ),
-        };
-        let block_size = match kind {
-            HierarchyKind::Conventional(c) => c.l1.block_size,
-            HierarchyKind::DNuca(c) => c.l1.block_size,
-            HierarchyKind::LNucaL3(c) => c.l1.block_size,
-            HierarchyKind::LNucaDNuca(c) => c.l1.block_size,
-        };
+        Self::from_spec(&kind.to_spec())
+    }
+
+    /// Builds the reference model of any composed [`HierarchySpec`] — the
+    /// oracle is not limited to the paper's four shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for invalid or non-LRU configurations.
+    pub fn from_spec(spec: &HierarchySpec) -> Result<Self, ConfigError> {
         Ok(RefHierarchy {
-            l1,
-            outer,
-            fabric,
-            levels,
-            block_size,
+            l1: RefCache::new(&spec.root)?,
+            outer: RefOuter::from_spec(spec)?,
+            fabric: spec.fabric.as_ref().map(|_| RefFabric::default()),
+            levels: spec.fabric.as_ref().map_or(0, |f| f.levels),
+            block_size: spec.root.block_size,
             memory_accesses: 0,
             write_drains: 0,
             merged: 0,
@@ -373,14 +343,35 @@ impl RefHierarchy {
             stats.l1 == self.l1.stats,
             format!("detailed {:?} != reference {:?}", stats.l1, self.l1.stats),
         );
-        match (&self.outer, &stats.l2, &stats.l3, &stats.dnuca) {
-            (RefOuter::L2L3 { l2, l3 }, Some(d2), Some(d3), None) => {
+        // Intermediate chain: the first level sits in `stats.l2`, deeper
+        // ones in `stats.deeper_levels`.
+        let detailed_intermediates: Vec<&lnuca_mem::CacheStats> = stats
+            .l2
+            .iter()
+            .chain(stats.deeper_levels.iter())
+            .collect();
+        if detailed_intermediates.len() != self.outer.intermediates.len() {
+            errors.push(format!(
+                "intermediate chain length differs: detailed {} != reference {}",
+                detailed_intermediates.len(),
+                self.outer.intermediates.len()
+            ));
+        } else {
+            for (i, (detailed, reference)) in detailed_intermediates
+                .iter()
+                .zip(&self.outer.intermediates)
+                .enumerate()
+            {
                 check(
                     &mut errors,
-                    "L2 stats",
-                    *d2 == l2.stats,
-                    format!("detailed {d2:?} != reference {:?}", l2.stats),
+                    if i == 0 { "L2 stats" } else { "deeper intermediate stats" },
+                    **detailed == reference.stats,
+                    format!("level {i}: detailed {detailed:?} != reference {:?}", reference.stats),
                 );
+            }
+        }
+        match (&self.outer.backing, &stats.l3, &stats.dnuca) {
+            (RefBacking::Cache(l3), Some(d3), None) => {
                 check(
                     &mut errors,
                     "L3 stats",
@@ -388,15 +379,7 @@ impl RefHierarchy {
                     format!("detailed {d3:?} != reference {:?}", l3.stats),
                 );
             }
-            (RefOuter::L3Only { l3 }, None, Some(d3), None) => {
-                check(
-                    &mut errors,
-                    "L3 stats",
-                    *d3 == l3.stats,
-                    format!("detailed {d3:?} != reference {:?}", l3.stats),
-                );
-            }
-            (RefOuter::DNuca { dnuca }, None, None, Some(dd)) => {
+            (RefBacking::DNuca(dnuca), None, Some(dd)) => {
                 let c = &dnuca.counters;
                 let functional = (
                     dd.accesses,
@@ -421,7 +404,8 @@ impl RefHierarchy {
                     format!("detailed {functional:?} != reference {reference:?}"),
                 );
             }
-            _ => errors.push("outer-level shape does not match the detailed stats".to_owned()),
+            (RefBacking::Memory, None, None) => {}
+            _ => errors.push("backing shape does not match the detailed stats".to_owned()),
         }
         if let Some(fabric) = &self.fabric {
             match &stats.lnuca {

@@ -383,86 +383,162 @@ impl RefDnuca {
     }
 }
 
+/// The reference backing store (mirrors
+/// `lnuca_sim::hierarchy::Backing`, minus all timing).
+#[derive(Debug)]
+pub enum RefBacking {
+    /// An L3-style conventional cache.
+    Cache(RefCache),
+    /// A D-NUCA.
+    DNuca(RefDnuca),
+    /// Nothing on chip: every fetch falls through to DRAM.
+    Memory,
+}
+
 /// The reference outer level: the functional composition rules of
 /// `lnuca_sim::hierarchy::OuterLevel` (fill-on-the-way-up, dirty victims
 /// written back one level down, write-through marking resident blocks
-/// dirty), minus all timing.
+/// dirty), minus all timing. Like the detailed struct it is a chain of
+/// intermediate caches in front of a [`RefBacking`], so every shape a
+/// `HierarchySpec` composes — not just the paper's three — replays here.
 #[derive(Debug)]
-pub enum RefOuter {
-    /// Conventional L2 backed by an L3.
-    L2L3 {
-        /// Second-level cache.
-        l2: RefCache,
-        /// Third-level cache.
-        l3: RefCache,
-    },
-    /// A bare L3 (behind a fabric).
-    L3Only {
-        /// Third-level cache.
-        l3: RefCache,
-    },
-    /// A D-NUCA.
-    DNuca {
-        /// The D-NUCA reference.
-        dnuca: RefDnuca,
-    },
+pub struct RefOuter {
+    /// Intermediate conventional caches, nearest first.
+    pub intermediates: Vec<RefCache>,
+    /// The backing store behind them.
+    pub backing: RefBacking,
 }
 
 impl RefOuter {
+    /// Builds the reference outer levels of `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for invalid or non-LRU configurations.
+    pub fn from_spec(spec: &lnuca_sim::spec::HierarchySpec) -> Result<Self, ConfigError> {
+        let intermediates = spec
+            .intermediate
+            .iter()
+            .map(|level| RefCache::new(&level.cache))
+            .collect::<Result<Vec<_>, _>>()?;
+        let backing = match &spec.backing {
+            lnuca_sim::spec::BackingSpec::Cache(cache) => RefBacking::Cache(RefCache::new(cache)?),
+            lnuca_sim::spec::BackingSpec::DNuca(dnuca) => RefBacking::DNuca(RefDnuca::new(dnuca)?),
+            lnuca_sim::spec::BackingSpec::Memory => RefBacking::Memory,
+            // `BackingSpec` is #[non_exhaustive]: a future backing kind must
+            // teach the reference model its rules before it can be verified.
+            other => {
+                return Err(ConfigError::new(
+                    "backing",
+                    format!("the reference model does not implement {} backings yet", other.kind_name()),
+                ))
+            }
+        };
+        Ok(RefOuter {
+            intermediates,
+            backing,
+        })
+    }
+
     /// Resolves a miss coming from above, returning the level that provided
     /// the block; `memory_accesses` counts block fetches that fell through
     /// to DRAM (mirrors `MainMemory::accesses`).
     pub fn fetch(&mut self, addr: Addr, is_write: bool, memory_accesses: &mut u64) -> ServiceLevel {
-        match self {
-            RefOuter::L2L3 { l2, l3 } => {
-                if l2.access(addr, is_write) {
-                    return ServiceLevel::L2;
-                }
-                let served = Self::fetch_l3(l3, addr, memory_accesses);
-                if let Some(victim) = l2.fill(addr, false) {
-                    if victim.dirty && !l3.mark_dirty(victim.addr) {
-                        l3.fill(victim.addr, true);
-                    }
-                }
-                served
-            }
-            RefOuter::L3Only { l3 } => Self::fetch_l3(l3, addr, memory_accesses),
-            RefOuter::DNuca { dnuca } => match dnuca.access(addr, is_write) {
-                Some(row) => ServiceLevel::DNucaRow(row),
-                None => {
-                    *memory_accesses += 1;
-                    let _ = dnuca.fill(addr, false);
-                    ServiceLevel::Memory
-                }
-            },
-        }
+        self.fetch_level(0, addr, is_write, memory_accesses)
     }
 
-    fn fetch_l3(l3: &mut RefCache, addr: Addr, memory_accesses: &mut u64) -> ServiceLevel {
-        if l3.access(addr, false) {
-            ServiceLevel::L3
-        } else {
-            *memory_accesses += 1;
-            let _ = l3.fill(addr, false);
-            ServiceLevel::Memory
+    fn fetch_level(
+        &mut self,
+        idx: usize,
+        addr: Addr,
+        is_write: bool,
+        memory_accesses: &mut u64,
+    ) -> ServiceLevel {
+        if idx == self.intermediates.len() {
+            return match &mut self.backing {
+                // The backing cache is always accessed as a read (the fetch
+                // of a block), like the detailed chain.
+                RefBacking::Cache(l3) => {
+                    if l3.access(addr, false) {
+                        ServiceLevel::L3
+                    } else {
+                        *memory_accesses += 1;
+                        let _ = l3.fill(addr, false);
+                        ServiceLevel::Memory
+                    }
+                }
+                RefBacking::DNuca(dnuca) => match dnuca.access(addr, is_write) {
+                    Some(row) => ServiceLevel::DNucaRow(row),
+                    None => {
+                        *memory_accesses += 1;
+                        let _ = dnuca.fill(addr, false);
+                        ServiceLevel::Memory
+                    }
+                },
+                RefBacking::Memory => {
+                    *memory_accesses += 1;
+                    ServiceLevel::Memory
+                }
+            };
+        }
+        if self.intermediates[idx].access(addr, is_write) {
+            return if idx == 0 {
+                ServiceLevel::L2
+            } else {
+                ServiceLevel::Intermediate(u8::try_from(idx).unwrap_or(u8::MAX))
+            };
+        }
+        // `is_write` reaches only the first level below; deeper levels see
+        // the fetch as a read (the detailed chain's rule).
+        let served = self.fetch_level(idx + 1, addr, false, memory_accesses);
+        if let Some(victim) = self.intermediates[idx].fill(addr, false) {
+            if victim.dirty {
+                self.writeback_below(idx + 1, victim.addr);
+            }
+        }
+        served
+    }
+
+    /// Writes a dirty victim into the first level at or below `idx`
+    /// (mark-dirty where resident, install dirty into a cache otherwise;
+    /// D-NUCA and memory absorb absent blocks silently) — the detailed
+    /// chain's rule.
+    fn writeback_below(&mut self, idx: usize, addr: Addr) {
+        if idx < self.intermediates.len() {
+            if !self.intermediates[idx].mark_dirty(addr) {
+                let _ = self.intermediates[idx].fill(addr, true);
+            }
+            return;
+        }
+        match &mut self.backing {
+            RefBacking::Cache(l3) => {
+                if !l3.mark_dirty(addr) {
+                    let _ = l3.fill(addr, true);
+                }
+            }
+            RefBacking::DNuca(dnuca) => {
+                let _ = dnuca.mark_dirty(addr);
+            }
+            RefBacking::Memory => {}
         }
     }
 
     /// Applies one drained write: the block is marked dirty where it
-    /// resides (L2 first, then L3), like `OuterLevel::write_through`.
+    /// resides (nearest level first), like `OuterLevel::write_through`.
     pub fn write_through(&mut self, addr: Addr) {
-        match self {
-            RefOuter::L2L3 { l2, l3 } => {
-                if !l2.mark_dirty(addr) {
-                    let _ = l3.mark_dirty(addr);
-                }
+        for level in &mut self.intermediates {
+            if level.mark_dirty(addr) {
+                return;
             }
-            RefOuter::L3Only { l3 } => {
+        }
+        match &mut self.backing {
+            RefBacking::Cache(l3) => {
                 let _ = l3.mark_dirty(addr);
             }
-            RefOuter::DNuca { dnuca } => {
+            RefBacking::DNuca(dnuca) => {
                 let _ = dnuca.mark_dirty(addr);
             }
+            RefBacking::Memory => {}
         }
     }
 }
@@ -538,14 +614,28 @@ mod tests {
 
     #[test]
     fn outer_l2l3_chain_fills_on_the_way_up() {
-        let mut outer = RefOuter::L2L3 {
-            l2: small_cache(),
-            l3: small_cache(),
+        let mut outer = RefOuter {
+            intermediates: vec![small_cache()],
+            backing: RefBacking::Cache(small_cache()),
         };
         let mut mem = 0u64;
         assert_eq!(outer.fetch(Addr(0x9000), false, &mut mem), ServiceLevel::Memory);
         assert_eq!(mem, 1);
         assert_eq!(outer.fetch(Addr(0x9000), false, &mut mem), ServiceLevel::L2);
         assert_eq!(mem, 1);
+    }
+
+    #[test]
+    fn memory_backing_counts_every_fetch() {
+        let mut outer = RefOuter {
+            intermediates: Vec::new(),
+            backing: RefBacking::Memory,
+        };
+        let mut mem = 0u64;
+        for _ in 0..3 {
+            assert_eq!(outer.fetch(Addr(0x40), false, &mut mem), ServiceLevel::Memory);
+        }
+        assert_eq!(mem, 3, "nothing on chip can absorb the fetches");
+        outer.write_through(Addr(0x40)); // absorbed silently
     }
 }

@@ -91,6 +91,27 @@ impl AccessPattern {
 /// Each memory access picks a region with the configured probability and a
 /// block within it; with probability `spatial_stride_prob` it instead
 /// continues sequentially from the previous access (spatial locality).
+///
+/// The struct is `#[non_exhaustive]`: construct one with
+/// [`WorkloadProfile::builder`] (or start from [`WorkloadProfile::default`]
+/// and mutate fields) so that future knobs can be added without breaking
+/// downstream struct literals — three consecutive PRs grew this type by
+/// literal breakage before the builder existed.
+///
+/// # Example
+///
+/// ```
+/// use lnuca_workloads::{AccessPattern, Suite, WorkloadProfile};
+///
+/// let profile = WorkloadProfile::builder("my.stream")
+///     .suite(Suite::FloatingPoint)
+///     .pattern(AccessPattern::Streaming)
+///     .stream_stride_blocks(3)
+///     .build()?;
+/// assert_eq!(profile.name, "my.stream");
+/// # Ok::<(), lnuca_types::ConfigError>(())
+/// ```
+#[non_exhaustive]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadProfile {
     /// Benchmark name used in reports.
@@ -140,6 +161,15 @@ pub struct WorkloadProfile {
 }
 
 impl WorkloadProfile {
+    /// Starts building a profile named `name`, with every other knob at the
+    /// balanced defaults of [`WorkloadProfile::default`].
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> WorkloadProfileBuilder {
+        let mut profile = WorkloadProfile::default();
+        profile.name = name.into();
+        WorkloadProfileBuilder { profile }
+    }
+
     /// Validates the profile.
     ///
     /// # Errors
@@ -242,6 +272,123 @@ impl Default for WorkloadProfile {
     }
 }
 
+/// Builder for [`WorkloadProfile`] (see [`WorkloadProfile::builder`]).
+///
+/// Every setter overrides one knob; grouped setters exist for the knobs
+/// that are always tuned together ([`mix`](Self::mix),
+/// [`regions`](Self::regions), [`region_probs`](Self::region_probs)).
+/// [`build`](Self::build) validates the result.
+#[derive(Debug, Clone)]
+pub struct WorkloadProfileBuilder {
+    profile: WorkloadProfile,
+}
+
+impl WorkloadProfileBuilder {
+    /// Sets the suite the benchmark belongs to.
+    #[must_use]
+    pub fn suite(mut self, suite: Suite) -> Self {
+        self.profile.suite = suite;
+        self
+    }
+
+    /// Sets the load/store/branch/FP instruction mix in one call.
+    #[must_use]
+    pub fn mix(mut self, loads: f64, stores: f64, branches: f64, fp: f64) -> Self {
+        self.profile.load_fraction = loads;
+        self.profile.store_fraction = stores;
+        self.profile.branch_fraction = branches;
+        self.profile.fp_fraction = fp;
+        self
+    }
+
+    /// Sets the hot/warm/cold region sizes (in 32-byte blocks) in one call.
+    #[must_use]
+    pub fn regions(mut self, hot: u64, warm: u64, cold: u64) -> Self {
+        self.profile.hot_blocks = hot;
+        self.profile.warm_blocks = warm;
+        self.profile.cold_blocks = cold;
+        self
+    }
+
+    /// Sets the hot/warm/cold region probabilities in one call (the
+    /// remainder goes to the streaming walker).
+    #[must_use]
+    pub fn region_probs(mut self, hot: f64, warm: f64, cold: f64) -> Self {
+        self.profile.hot_prob = hot;
+        self.profile.warm_prob = warm;
+        self.profile.cold_prob = cold;
+        self
+    }
+
+    /// Sets the streaming footprint size in 32-byte blocks.
+    #[must_use]
+    pub fn stream_blocks(mut self, blocks: u64) -> Self {
+        self.profile.stream_blocks = blocks;
+        self
+    }
+
+    /// Sets the probability of continuing sequentially from the previous
+    /// access.
+    #[must_use]
+    pub fn spatial_stride_prob(mut self, prob: f64) -> Self {
+        self.profile.spatial_stride_prob = prob;
+        self
+    }
+
+    /// Sets the mean register-dependency distance.
+    #[must_use]
+    pub fn mean_dep_distance(mut self, distance: f64) -> Self {
+        self.profile.mean_dep_distance = distance;
+        self
+    }
+
+    /// Sets the probability that a branch follows its per-branch bias.
+    #[must_use]
+    pub fn branch_bias(mut self, bias: f64) -> Self {
+        self.profile.branch_bias = bias;
+        self
+    }
+
+    /// Sets the number of static branches in the synthetic program.
+    #[must_use]
+    pub fn static_branches(mut self, branches: u64) -> Self {
+        self.profile.static_branches = branches;
+        self
+    }
+
+    /// Sets the memory access-pattern class.
+    #[must_use]
+    pub fn pattern(mut self, pattern: AccessPattern) -> Self {
+        self.profile.pattern = pattern;
+        self
+    }
+
+    /// Sets the instructions per phase for [`AccessPattern::PhaseMix`].
+    #[must_use]
+    pub fn phase_period(mut self, period: u64) -> Self {
+        self.profile.phase_period = period;
+        self
+    }
+
+    /// Sets the walker stride in blocks for [`AccessPattern::Streaming`].
+    #[must_use]
+    pub fn stream_stride_blocks(mut self, stride: u64) -> Self {
+        self.profile.stream_stride_blocks = stride;
+        self
+    }
+
+    /// Validates and produces the profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] [`WorkloadProfile::validate`]
+    /// reports.
+    pub fn build(self) -> Result<WorkloadProfile, ConfigError> {
+        self.profile.validate()?;
+        Ok(self.profile)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,6 +429,33 @@ mod tests {
         let unique: std::collections::HashSet<&str> = labels.into_iter().collect();
         assert_eq!(unique.len(), 5);
         assert_eq!(AccessPattern::default(), AccessPattern::Regions);
+    }
+
+    #[test]
+    fn builder_sets_every_knob_and_validates() {
+        let p = WorkloadProfile::builder("b.test")
+            .suite(Suite::FloatingPoint)
+            .mix(0.3, 0.1, 0.1, 0.5)
+            .regions(100, 200, 300)
+            .region_probs(0.5, 0.3, 0.1)
+            .stream_blocks(4_096)
+            .spatial_stride_prob(0.2)
+            .mean_dep_distance(7.0)
+            .branch_bias(0.95)
+            .static_branches(512)
+            .pattern(AccessPattern::PhaseMix)
+            .phase_period(1_000)
+            .stream_stride_blocks(2)
+            .build()
+            .unwrap();
+        assert_eq!(p.name, "b.test");
+        assert_eq!(p.suite, Suite::FloatingPoint);
+        assert_eq!((p.hot_blocks, p.warm_blocks, p.cold_blocks), (100, 200, 300));
+        assert_eq!(p.pattern, AccessPattern::PhaseMix);
+        assert_eq!(p.phase_period, 1_000);
+
+        let err = WorkloadProfile::builder("b.bad").mix(0.7, 0.7, 0.0, 0.0).build();
+        assert!(err.is_err(), "the builder validates on build");
     }
 
     #[test]

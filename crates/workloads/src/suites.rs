@@ -11,10 +11,11 @@
 //! density and the branch behaviour — those are the quantities the profiles
 //! control.
 
-use crate::profile::{AccessPattern, Suite, WorkloadProfile};
-use lnuca_types::ConfigError;
+use crate::profile::{AccessPattern, Suite, WorkloadProfile, WorkloadProfileBuilder};
+use lnuca_types::UnknownNameError;
 
-/// Convenience constructor used by the suite tables below.
+/// Convenience constructor used by the suite tables below; the suite tables
+/// chain further builder calls for pattern-specific knobs.
 #[allow(clippy::too_many_arguments)]
 fn profile(
     name: &str,
@@ -30,29 +31,23 @@ fn profile(
     stride: f64,
     dep: f64,
     bias: f64,
-) -> WorkloadProfile {
-    WorkloadProfile {
-        name: name.to_owned(),
-        suite,
-        load_fraction: loads,
-        store_fraction: stores,
-        branch_fraction: branches,
-        fp_fraction: fp,
-        hot_blocks: hot,
-        warm_blocks: warm,
-        cold_blocks: cold,
-        stream_blocks: 6_000_000,
-        hot_prob: probs.0,
-        warm_prob: probs.1,
-        cold_prob: probs.2,
-        spatial_stride_prob: stride,
-        mean_dep_distance: dep,
-        branch_bias: bias,
-        static_branches: 4_096,
-        pattern: AccessPattern::Regions,
-        phase_period: 4_096,
-        stream_stride_blocks: 1,
-    }
+) -> WorkloadProfileBuilder {
+    WorkloadProfile::builder(name)
+        .suite(suite)
+        .mix(loads, stores, branches, fp)
+        .regions(hot, warm, cold)
+        .stream_blocks(6_000_000)
+        .region_probs(probs.0, probs.1, probs.2)
+        .spatial_stride_prob(stride)
+        .mean_dep_distance(dep)
+        .branch_bias(bias)
+        .static_branches(4_096)
+}
+
+/// Finishes a suite-table builder; every shipped profile is valid by
+/// construction, so a failure here is a bug in the table itself.
+fn built(builder: WorkloadProfileBuilder) -> WorkloadProfile {
+    builder.build().expect("shipped suite profiles are valid")
 }
 
 /// The eleven INT-like synthetic benchmarks.
@@ -64,7 +59,7 @@ fn profile(
 #[must_use]
 pub fn spec_int_like() -> Vec<WorkloadProfile> {
     use Suite::Integer as I;
-    vec![
+    let table = vec![
         // name                      ld    st    br    fp   hot   warm    cold      (hot,  warm,  cold)    stride dep  bias
         profile("int.compress",   I, 0.26, 0.12, 0.16, 0.02, 640, 2_400, 8_000, (0.755, 0.225, 0.016), 0.40, 5.0, 0.90),
         profile("int.pointer_chase", I, 0.31, 0.08, 0.17, 0.00, 256, 3_200, 12_000, (0.725, 0.250, 0.020), 0.10, 3.5, 0.88),
@@ -77,7 +72,8 @@ pub fn spec_int_like() -> Vec<WorkloadProfile> {
         profile("int.event_sim",  I, 0.26, 0.11, 0.18, 0.01, 640, 3_000, 12_000, (0.735, 0.243, 0.018), 0.28, 5.0, 0.90),
         profile("int.path_search", I, 0.27, 0.08, 0.19, 0.01, 512, 2_800, 10_000, (0.745, 0.235, 0.016), 0.26, 4.5, 0.89),
         profile("int.interpreter", I, 0.25, 0.12, 0.21, 0.01, 704, 2_100, 7_000, (0.765, 0.217, 0.014), 0.30, 5.0, 0.90),
-    ]
+    ];
+    table.into_iter().map(built).collect()
 }
 
 /// The eleven FP-like synthetic benchmarks.
@@ -90,7 +86,7 @@ pub fn spec_int_like() -> Vec<WorkloadProfile> {
 #[must_use]
 pub fn spec_fp_like() -> Vec<WorkloadProfile> {
     use Suite::FloatingPoint as F;
-    vec![
+    let table = vec![
         // name                     ld    st    br    fp   hot   warm    cold      (hot,  warm,  cold)    stride dep  bias
         profile("fp.wave_solver", F, 0.33, 0.11, 0.06, 0.70, 512, 3_600, 14_000, (0.675, 0.303, 0.018), 0.45, 9.0, 0.985),
         profile("fp.quantum_chem", F, 0.30, 0.12, 0.08, 0.65, 768, 3_000, 10_000, (0.700, 0.280, 0.015), 0.45, 8.0, 0.97),
@@ -103,7 +99,8 @@ pub fn spec_fp_like() -> Vec<WorkloadProfile> {
         profile("fp.speech_hmm",  F, 0.32, 0.09, 0.10, 0.60, 832, 2_600, 8_000, (0.710, 0.273, 0.012), 0.42, 7.5, 0.96),
         profile("fp.linear_solver", F, 0.31, 0.11, 0.07, 0.69, 640, 3_900, 14_000, (0.670, 0.310, 0.017), 0.45, 9.0, 0.985),
         profile("fp.ray_trace",   F, 0.28, 0.09, 0.12, 0.62, 960, 2_400, 7_000, (0.725, 0.257, 0.012), 0.38, 7.0, 0.95),
-    ]
+    ];
+    table.into_iter().map(built).collect()
 }
 
 /// The four adversarial access-pattern benchmarks (ISSUE 4 expansion).
@@ -119,33 +116,33 @@ pub fn spec_fp_like() -> Vec<WorkloadProfile> {
 pub fn adversarial() -> Vec<WorkloadProfile> {
     use Suite::{FloatingPoint as F, Integer as I};
     vec![
-        WorkloadProfile {
-            pattern: AccessPattern::PointerChase,
-            // 24 576 cold blocks = 768 KB of chain: far beyond every L-NUCA
-            // configuration and the 256 KB L2, comfortably inside the L3.
-            ..profile("adv.pointer_chase", I, 0.32, 0.06, 0.15, 0.00, 256, 1_024, 24_576, (0.25, 0.0, 0.0), 0.05, 2.0, 0.86)
-        },
-        WorkloadProfile {
-            pattern: AccessPattern::Streaming,
-            // Stride of 3 blocks: never two consecutive accesses in one
-            // block, so the walker defeats the spatial-stride shortcut the
-            // region model relies on.
-            stream_stride_blocks: 3,
-            ..profile("adv.stream", F, 0.35, 0.10, 0.05, 0.60, 512, 1_024, 4_096, (0.15, 0.0, 0.0), 0.0, 12.0, 0.995)
-        },
-        WorkloadProfile {
-            pattern: AccessPattern::Gups,
-            // ~12 MB table (64 + 1 024 + 131 072 + 250 000 blocks of 32 B):
-            // larger than the 8 MB L3, so uniform updates stress every
-            // level's tag arrays at once.
-            stream_blocks: 250_000,
-            ..profile("adv.gups", I, 0.30, 0.15, 0.10, 0.00, 64, 1_024, 131_072, (0.0, 0.0, 0.0), 0.0, 8.0, 0.90)
-        },
-        WorkloadProfile {
-            pattern: AccessPattern::PhaseMix,
-            phase_period: 2_000,
-            ..profile("adv.phase_mix", I, 0.28, 0.10, 0.16, 0.05, 512, 2_400, 16_384, (0.60, 0.25, 0.05), 0.30, 5.0, 0.90)
-        },
+        // 24 576 cold blocks = 768 KB of chain: far beyond every L-NUCA
+        // configuration and the 256 KB L2, comfortably inside the L3.
+        built(
+            profile("adv.pointer_chase", I, 0.32, 0.06, 0.15, 0.00, 256, 1_024, 24_576, (0.25, 0.0, 0.0), 0.05, 2.0, 0.86)
+                .pattern(AccessPattern::PointerChase),
+        ),
+        // Stride of 3 blocks: never two consecutive accesses in one block,
+        // so the walker defeats the spatial-stride shortcut the region
+        // model relies on.
+        built(
+            profile("adv.stream", F, 0.35, 0.10, 0.05, 0.60, 512, 1_024, 4_096, (0.15, 0.0, 0.0), 0.0, 12.0, 0.995)
+                .pattern(AccessPattern::Streaming)
+                .stream_stride_blocks(3),
+        ),
+        // ~12 MB table (64 + 1 024 + 131 072 + 250 000 blocks of 32 B):
+        // larger than the 8 MB L3, so uniform updates stress every level's
+        // tag arrays at once.
+        built(
+            profile("adv.gups", I, 0.30, 0.15, 0.10, 0.00, 64, 1_024, 131_072, (0.0, 0.0, 0.0), 0.0, 8.0, 0.90)
+                .pattern(AccessPattern::Gups)
+                .stream_blocks(250_000),
+        ),
+        built(
+            profile("adv.phase_mix", I, 0.28, 0.10, 0.16, 0.05, 512, 2_400, 16_384, (0.60, 0.25, 0.05), 0.30, 5.0, 0.90)
+                .pattern(AccessPattern::PhaseMix)
+                .phase_period(2_000),
+        ),
     ]
 }
 
@@ -171,21 +168,22 @@ pub fn extended() -> Vec<WorkloadProfile> {
 ///
 /// # Errors
 ///
-/// Returns a [`ConfigError`] listing every valid name when `name` matches
-/// nothing — so a typo in a bench env knob (`LNUCA_WORKLOADS`) fails loudly
-/// instead of silently running the wrong set.
-pub fn by_name(name: &str) -> Result<WorkloadProfile, ConfigError> {
+/// Returns an [`UnknownNameError`] listing every valid name when `name`
+/// matches nothing — so a typo in a bench env knob (`LNUCA_WORKLOADS`) or a
+/// scenario file fails loudly instead of silently running the wrong set.
+/// The error converts into `ConfigError` via `?` where constructors need
+/// it; the scenario loader of `lnuca-sim` reports its unknown-name failures
+/// through the same type.
+pub fn by_name(name: &str) -> Result<WorkloadProfile, UnknownNameError> {
     let wanted = name.trim();
     let profiles = extended();
     match profiles.iter().find(|p| p.name.eq_ignore_ascii_case(wanted)) {
         Some(p) => Ok(p.clone()),
-        None => {
-            let valid: Vec<&str> = profiles.iter().map(|p| p.name.as_str()).collect();
-            Err(ConfigError::new(
-                "workload name",
-                format!("unknown workload {wanted:?}; valid names: {}", valid.join(", ")),
-            ))
-        }
+        None => Err(UnknownNameError::new(
+            "workload",
+            wanted,
+            profiles.iter().map(|p| p.name.as_str()),
+        )),
     }
 }
 

@@ -9,20 +9,20 @@ use std::collections::HashSet;
 
 /// A compact profile (fast to exhaust) with the given pattern and bounded
 /// region sizes, stride shortcut disabled so every address is
-/// pattern-generated.
+/// pattern-generated. Returned as a builder so each test can chain its own
+/// overrides before building.
+fn bounded(pattern: AccessPattern) -> lnuca_workloads::profile::WorkloadProfileBuilder {
+    WorkloadProfile::builder(format!("prop.{}", pattern.label()))
+        .regions(24, 96, 384)
+        .stream_blocks(640)
+        .spatial_stride_prob(0.0)
+        .pattern(pattern)
+        .phase_period(500)
+        .stream_stride_blocks(3)
+}
+
 fn bounded_profile(pattern: AccessPattern) -> WorkloadProfile {
-    WorkloadProfile {
-        name: format!("prop.{}", pattern.label()),
-        hot_blocks: 24,
-        warm_blocks: 96,
-        cold_blocks: 384,
-        stream_blocks: 640,
-        spatial_stride_prob: 0.0,
-        pattern,
-        phase_period: 500,
-        stream_stride_blocks: 3,
-        ..WorkloadProfile::default()
-    }
+    bounded(pattern).build().expect("bounded profile is valid")
 }
 
 fn every_pattern() -> impl Strategy<Value = AccessPattern> {
@@ -94,12 +94,10 @@ proptest! {
         branches in 0.05f64..0.20,
         seed in 0u64..1_000,
     ) {
-        let p = WorkloadProfile {
-            load_fraction: loads,
-            store_fraction: stores,
-            branch_fraction: branches,
-            ..bounded_profile(pattern)
-        };
+        let p = bounded(pattern)
+            .mix(loads, stores, branches, 0.05)
+            .build()
+            .expect("mix ranges are valid");
         let n = 30_000;
         let trace = sample(p, n, seed);
         let frac = |pred: fn(&Instr) -> bool| {
@@ -122,13 +120,11 @@ fn pointer_chase_visits_every_cold_block_exactly_once_per_lap() {
     // The chase is a full-period permutation over the cold region: within
     // the first `cold_blocks` chase steps, no block repeats; after exactly
     // `cold_blocks` steps the walk has covered the whole region.
-    let p = WorkloadProfile {
-        hot_prob: 0.0, // pure chase
-        load_fraction: 1.0,
-        store_fraction: 0.0,
-        branch_fraction: 0.0,
-        ..bounded_profile(AccessPattern::PointerChase)
-    };
+    let p = bounded(AccessPattern::PointerChase)
+        .region_probs(0.0, 0.33, 0.09) // hot_prob 0 => pure chase
+        .mix(1.0, 0.0, 0.0, 0.0)
+        .build()
+        .expect("pure-chase profile is valid");
     let lap = p.cold_blocks as usize;
     let trace = sample(p, lap, 11);
     let blocks: Vec<u64> = trace
@@ -143,14 +139,12 @@ fn pointer_chase_visits_every_cold_block_exactly_once_per_lap() {
 
 #[test]
 fn streaming_strides_by_the_configured_stride() {
-    let p = WorkloadProfile {
-        hot_prob: 0.0,
-        load_fraction: 1.0,
-        store_fraction: 0.0,
-        branch_fraction: 0.0,
-        stream_stride_blocks: 5,
-        ..bounded_profile(AccessPattern::Streaming)
-    };
+    let p = bounded(AccessPattern::Streaming)
+        .region_probs(0.0, 0.33, 0.09)
+        .mix(1.0, 0.0, 0.0, 0.0)
+        .stream_stride_blocks(5)
+        .build()
+        .expect("pure-stream profile is valid");
     let stream_blocks = p.stream_blocks;
     let trace = sample(p, 100, 3);
     let blocks: Vec<u64> = trace
@@ -172,12 +166,10 @@ fn phase_mix_reaches_regions_the_stationary_phases_alone_would_not() {
     // One rotation (4 × phase_period instructions) must touch both the
     // streaming region (Streaming phase) and the cold region (PointerChase
     // phase) even with hot-heavy region knobs.
-    let p = WorkloadProfile {
-        hot_prob: 0.9,
-        warm_prob: 0.05,
-        cold_prob: 0.05,
-        ..bounded_profile(AccessPattern::PhaseMix)
-    };
+    let p = bounded(AccessPattern::PhaseMix)
+        .region_probs(0.9, 0.05, 0.05)
+        .build()
+        .expect("hot-heavy phase-mix profile is valid");
     let trace = sample(p.clone(), 4 * p.phase_period as usize, 5);
     let touched = |base: u64| {
         trace

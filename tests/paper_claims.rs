@@ -5,20 +5,22 @@
 //! results, a test here fails.
 
 use lnuca_suite::energy::AreaModel;
-use lnuca_suite::sim::experiments::{area_table, ExperimentOptions, Study, WorkloadSelection};
-use lnuca_suite::sim::system::Engine;
+use lnuca_suite::sim::experiments::{area_table, ExperimentOptions, ExperimentPlan, Study};
 use lnuca_suite::workloads::Suite;
 
 fn reduced_options() -> ExperimentOptions {
-    ExperimentOptions {
-        instructions: 12_000,
-        seed: 1,
-        benchmarks_per_suite: Some(2),
-        workloads: WorkloadSelection::Paper,
-        lnuca_levels: vec![2, 3],
-        threads: 1,
-        engine: Engine::EventHorizon,
-    }
+    ExperimentOptions::builder()
+        .instructions(12_000)
+        .seed(1)
+        .benchmarks_per_suite(Some(2))
+        .lnuca_levels(vec![2, 3])
+        .build()
+}
+
+/// The single-entry-point form of the old `Study::conventional`.
+fn conventional_study(opts: &ExperimentOptions) -> Study {
+    let plan = ExperimentPlan::paper_conventional(opts).expect("valid configurations");
+    Study::run(&plan).expect("valid configurations")
 }
 
 /// Table II: LN3 needs less area than the 256 KB L2 baseline, LN4 more, and
@@ -50,7 +52,7 @@ fn area_claims_hold() {
 /// suite, and the transport network stays essentially contention-free.
 #[test]
 fn hit_distribution_claims_hold() {
-    let study = Study::conventional(&reduced_options()).expect("valid configurations");
+    let study = conventional_study(&reduced_options());
     let rows = study.hit_distribution();
     assert!(!rows.is_empty());
     for row in &rows {
@@ -90,7 +92,7 @@ fn hit_distribution_claims_hold() {
 /// and the tiles of an L-NUCA leak less than the L2 they replace.
 #[test]
 fn energy_breakdown_claims_hold() {
-    let study = Study::conventional(&reduced_options()).expect("valid configurations");
+    let study = conventional_study(&reduced_options());
     let rows = study.energy_summary();
     let baseline = &rows[0];
     assert!(baseline.static_last > baseline.dynamic);
@@ -111,16 +113,14 @@ fn energy_breakdown_claims_hold() {
 /// D-NUCA does not hurt either suite on the reduced runs.
 #[test]
 fn lnuca_plus_dnuca_does_not_regress() {
-    let opts = ExperimentOptions {
-        instructions: 12_000,
-        seed: 3,
-        benchmarks_per_suite: Some(2),
-        workloads: WorkloadSelection::Paper,
-        lnuca_levels: vec![2],
-        threads: 1,
-        engine: Engine::EventHorizon,
-    };
-    let study = Study::dnuca(&opts).expect("valid configurations");
+    let opts = ExperimentOptions::builder()
+        .instructions(12_000)
+        .seed(3)
+        .benchmarks_per_suite(Some(2))
+        .lnuca_levels(vec![2])
+        .build();
+    let plan = ExperimentPlan::paper_dnuca(&opts).expect("valid configurations");
+    let study = Study::run(&plan).expect("valid configurations");
     let ipc = study.ipc_summary();
     let baseline = &ipc[0];
     let ln2 = &ipc[1];
@@ -142,7 +142,7 @@ fn lnuca_plus_dnuca_does_not_regress() {
 /// every configuration yields finite, positive IPC for both suites.
 #[test]
 fn ipc_summaries_are_well_formed() {
-    let study = Study::conventional(&reduced_options()).expect("valid configurations");
+    let study = conventional_study(&reduced_options());
     let rows = study.ipc_summary();
     assert_eq!(rows[0].label, study.baseline);
     assert!(rows[0].int_gain_pct.abs() < 1e-9);

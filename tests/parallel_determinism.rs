@@ -4,19 +4,15 @@
 //! in the same order, and therefore byte-identical summary tables. The
 //! workers only change when each run happens, never what it computes.
 
-use lnuca_suite::sim::experiments::{ExperimentOptions, Study, WorkloadSelection};
-use lnuca_suite::sim::system::Engine;
+use lnuca_suite::sim::experiments::{ExperimentOptions, ExperimentPlan, Study};
 
 fn reduced_options() -> ExperimentOptions {
-    ExperimentOptions {
-        instructions: 8_000,
-        seed: 1,
-        benchmarks_per_suite: Some(2),
-        workloads: WorkloadSelection::Paper,
-        lnuca_levels: vec![2, 3],
-        threads: 1,
-        engine: Engine::EventHorizon,
-    }
+    ExperimentOptions::builder()
+        .instructions(8_000)
+        .seed(1)
+        .benchmarks_per_suite(Some(2))
+        .lnuca_levels(vec![2, 3])
+        .build()
 }
 
 fn assert_studies_identical(sequential: &Study, parallel: &Study) {
@@ -50,9 +46,13 @@ fn assert_studies_identical(sequential: &Study, parallel: &Study) {
 #[test]
 fn four_workers_match_sequential_on_the_conventional_study() {
     let mut opts = reduced_options();
-    let sequential = Study::conventional(&opts).expect("valid configurations");
+    let sequential =
+        Study::run(&ExperimentPlan::paper_conventional(&opts).expect("valid configurations"))
+            .expect("valid configurations");
     opts.threads = 4;
-    let parallel = Study::conventional(&opts).expect("valid configurations");
+    let parallel =
+        Study::run(&ExperimentPlan::paper_conventional(&opts).expect("valid configurations"))
+            .expect("valid configurations");
     assert_studies_identical(&sequential, &parallel);
     // Perf is recorded for every run in both modes (values are host noise
     // and deliberately excluded from the identity above).
@@ -66,8 +66,10 @@ fn four_workers_match_sequential_on_the_dnuca_study() {
     opts.instructions = 5_000;
     opts.lnuca_levels = vec![2];
     opts.benchmarks_per_suite = Some(1);
-    let sequential = Study::dnuca(&opts).expect("valid configurations");
+    let sequential = Study::run(&ExperimentPlan::paper_dnuca(&opts).expect("valid configurations"))
+        .expect("valid configurations");
     opts.threads = 4;
-    let parallel = Study::dnuca(&opts).expect("valid configurations");
+    let parallel = Study::run(&ExperimentPlan::paper_dnuca(&opts).expect("valid configurations"))
+        .expect("valid configurations");
     assert_studies_identical(&sequential, &parallel);
 }

@@ -1,0 +1,121 @@
+//! Golden pins of the scenario redesign:
+//!
+//! 1. the committed `scenarios/*.json` files are byte-for-byte the
+//!    canonical serializations of the built-in registry (schema drift in
+//!    either place fails here before it fails in CI),
+//! 2. running the six paper configurations through the scenario files and
+//!    `Study::run` produces `RunResult`s **bit-identical** to the
+//!    deprecated `Study::conventional` / `Study::dnuca` constructors,
+//! 3. a non-paper hierarchy loaded from a scenario file runs end to end.
+//!
+//! (The differential-oracle coverage of the non-paper shapes lives in
+//! `crates/verify/tests/custom_shapes.rs`.)
+
+use lnuca_suite::sim::experiments::{ExperimentOptions, Study};
+use lnuca_suite::sim::scenario::{self, Scenario};
+use std::path::PathBuf;
+
+fn scenario_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("scenarios")
+        .join(format!("{name}.json"))
+}
+
+fn load(name: &str) -> Scenario {
+    let path = scenario_path(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    Scenario::from_json(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// Small options for the equivalence runs: every configuration of both
+/// studies, one benchmark per suite.
+fn reduced_options() -> ExperimentOptions {
+    ExperimentOptions::builder()
+        .instructions(3_000)
+        .seed(5)
+        .benchmarks_per_suite(Some(1))
+        .lnuca_levels(vec![2, 3, 4])
+        .build()
+}
+
+#[test]
+fn committed_scenario_files_are_the_canonical_builtins() {
+    for name in scenario::builtin_names() {
+        let builtin = scenario::builtin(name).expect("registry resolves its own names");
+        let committed = load(name);
+        assert_eq!(
+            committed, builtin,
+            "{name}: scenarios/{name}.json drifted from the built-in \
+             (regenerate with `lnuca export {name}`)"
+        );
+        let canonical = builtin.to_json();
+        let on_disk = std::fs::read_to_string(scenario_path(name)).expect("read back");
+        assert_eq!(
+            on_disk, canonical,
+            "{name}: the committed file is not in canonical form \
+             (regenerate with `lnuca export {name}`)"
+        );
+    }
+}
+
+/// Acceptance pin: the six paper configurations (L2-256KB, LN2/LN3/LN4 + L3,
+/// DN-4x8, LNx + DN-4x8), driven through the committed scenario files and
+/// the one `Study::run` entry point, are bit-identical to the deprecated
+/// constructor paths.
+#[test]
+#[allow(deprecated)]
+fn scenario_runs_are_bit_identical_to_the_deprecated_constructors() {
+    let opts = reduced_options();
+
+    for (file, deprecated_study) in [
+        ("paper-conventional", Study::conventional(&opts).expect("valid configurations")),
+        ("paper-dnuca", Study::dnuca(&opts).expect("valid configurations")),
+    ] {
+        let mut plan = load(file).plan;
+        plan.options = opts.clone();
+        let scenario_study = Study::run(&plan).expect("valid configurations");
+
+        assert_eq!(scenario_study.configs, deprecated_study.configs, "{file}: same matrix");
+        assert_eq!(scenario_study.baseline, deprecated_study.baseline);
+        assert_eq!(
+            scenario_study.results, deprecated_study.results,
+            "{file}: RunResults must be bit-identical between the scenario \
+             path and the deprecated constructor"
+        );
+        // The derived summaries follow, but they are what the figures print.
+        assert_eq!(scenario_study.ipc_summary(), deprecated_study.ipc_summary());
+        assert_eq!(scenario_study.energy_summary(), deprecated_study.energy_summary());
+        assert_eq!(scenario_study.hit_distribution(), deprecated_study.hit_distribution());
+    }
+}
+
+#[test]
+fn non_paper_hierarchies_run_from_their_scenario_files() {
+    let mut plan = load("ln3-no-l3").plan;
+    plan.options = ExperimentOptions::builder()
+        .instructions(2_000)
+        .benchmarks_per_suite(Some(1))
+        .build();
+    let study = Study::run(&plan).expect("the composed shapes run");
+    assert_eq!(study.configs, vec!["LN3-144KB", "LN3-144KB + mem"]);
+    let no_l3: Vec<_> = study.results_for("LN3-144KB + mem").collect();
+    assert!(!no_l3.is_empty());
+    for result in no_l3 {
+        assert!(result.hierarchy.l3.is_none(), "nothing behind the fabric");
+        assert!(result.hierarchy.lnuca.is_some());
+        assert!(result.hierarchy.memory_accesses > 0, "misses go straight to DRAM");
+    }
+
+    let mut plan = load("deep-stack").plan;
+    plan.options = ExperimentOptions::builder()
+        .instructions(2_000)
+        .benchmarks_per_suite(Some(1))
+        .build();
+    let study = Study::run(&plan).expect("the deep stack runs");
+    let deep_label = &study.configs[1];
+    for result in study.results_for(deep_label) {
+        assert_eq!(result.hierarchy.deeper_levels.len(), 1, "the L2B level reports stats");
+        assert!(result.hierarchy.l2.is_some() && result.hierarchy.l3.is_some());
+    }
+}

@@ -3,18 +3,25 @@
 //!
 //! The build container has no network access, so the real crate cannot be
 //! fetched. The simulator's config and statistics types derive
-//! `Serialize`/`Deserialize` for downstream tooling, but nothing in-tree
-//! serializes yet, so this shim only needs to make the `use` paths and
-//! derive attributes resolve:
+//! `Serialize`/`Deserialize` for downstream tooling; the shim makes the
+//! `use` paths and derive attributes resolve:
 //!
 //! * [`Serialize`] / [`Deserialize`] marker traits (never used as bounds
-//!   in-tree), and
+//!   in-tree),
 //! * re-exported no-op derive macros from the sibling `serde_derive` shim
-//!   (behind the `derive` feature, mirroring the real crate layout).
+//!   (behind the `derive` feature, mirroring the real crate layout), and
+//! * the [`json`] document module — a strict JSON parser and deterministic
+//!   pretty-printer over an order-preserving [`json::Value`] tree. The
+//!   scenario files and `lnuca-report/v1` documents of `lnuca-sim`'s
+//!   declarative experiment API go through it (explicit `to_value` /
+//!   `from_value` conversions on each type, with unknown-field rejection),
+//!   since the no-op derives cannot generate per-type code.
 //!
 //! To switch to the real serde, point the `serde` entry in the workspace
-//! `[workspace.dependencies]` table back at crates.io; no source changes are
-//! required.
+//! `[workspace.dependencies]` table back at crates.io and move the `json`
+//! users to `serde_json`; the marker-trait derives need no source changes.
+
+pub mod json;
 
 /// Marker stand-in for `serde::Serialize`.
 pub trait Serialize {}

@@ -9,10 +9,13 @@
 //! ```
 //!
 //! The reader is the vendored `serde::json` document parser walking the
-//! schema emitted by `lnuca_bench::baseline` (both `v1` and `v2`
+//! schema emitted by `lnuca_bench::baseline` (`v1` through `v3`
 //! documents): each study's `configurations` array carries the
-//! per-configuration aggregates this table compares. (Before the JSON
-//! module existed this was an ad-hoc line scanner.)
+//! per-configuration aggregates this table compares. A `v3` document also
+//! records the `batch_size` the point ran at; when the two points differ,
+//! the aggregate ratio line below the table is the batched-vs-sequential
+//! throughput comparison (DESIGN.md §13) — results are bit-identical
+//! across batch sizes, so only this throughput line should move.
 
 use lnuca_sim::report::format_table;
 use serde::json;
@@ -21,22 +24,46 @@ use serde::json;
 /// flagged.
 const WARN_DROP_PCT: f64 = 30.0;
 
+/// One parsed baseline document: run-context metadata plus the
+/// per-configuration aggregates.
+struct Baseline {
+    /// `engine` field (`v2`+), or `?` for a `v1` document.
+    engine: String,
+    /// `batch_size` field (`v3`+), or `1` for earlier documents (which
+    /// predate batching and always ran the per-run path).
+    batch_size: String,
+    /// `(study, label, wall seconds, simulated cycles, kcycles/s)` rows.
+    configurations: Vec<(String, String, f64, u64, f64)>,
+}
+
+impl Baseline {
+    /// Aggregate throughput over every configuration of every study:
+    /// total simulated kilo-cycles over total per-configuration wall time.
+    /// `None` when the document carries no timed work.
+    fn aggregate_kcps(&self) -> Option<f64> {
+        let wall: f64 = self.configurations.iter().map(|c| c.2).sum();
+        let cycles: u64 = self.configurations.iter().map(|c| c.3).sum();
+        (wall > 0.0 && cycles > 0).then(|| cycles as f64 / 1_000.0 / wall)
+    }
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let (Some(committed_path), Some(fresh_path)) = (args.next(), args.next()) else {
         eprintln!("usage: baseline_delta <committed.json> <fresh.json>");
         std::process::exit(2);
     };
-    let committed = read_configurations(&committed_path);
-    let fresh = read_configurations(&fresh_path);
+    let committed = read_baseline(&committed_path);
+    let fresh = read_baseline(&fresh_path);
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut warned = false;
-    for (study, label, new_kcps) in &fresh {
+    for (study, label, _, _, new_kcps) in &fresh.configurations {
         let old = committed
+            .configurations
             .iter()
-            .find(|(s, l, _)| s == study && l == label)
-            .map(|&(_, _, kcps)| kcps);
+            .find(|(s, l, _, _, _)| s == study && l == label)
+            .map(|&(_, _, _, _, kcps)| kcps);
         let (old_cell, delta_cell) = match old {
             Some(old_kcps) if old_kcps > 0.0 => {
                 let delta = (new_kcps / old_kcps - 1.0) * 100.0;
@@ -59,8 +86,12 @@ fn main() {
             delta_cell,
         ]);
     }
-    for (study, label, old_kcps) in &committed {
-        if !fresh.iter().any(|(s, l, _)| s == study && l == label) {
+    for (study, label, _, _, old_kcps) in &committed.configurations {
+        if !fresh
+            .configurations
+            .iter()
+            .any(|(s, l, _, _, _)| s == study && l == label)
+        {
             rows.push(vec![
                 study.clone(),
                 label.clone(),
@@ -76,6 +107,25 @@ fn main() {
         "{}",
         format_table(&["study", "configuration", "committed", "fresh", "delta"], &rows)
     );
+    println!(
+        "committed point: engine {}, batch size {}; fresh point: engine {}, batch size {}",
+        committed.engine, committed.batch_size, fresh.engine, fresh.batch_size
+    );
+    if let (Some(old_kcps), Some(new_kcps)) = (committed.aggregate_kcps(), fresh.aggregate_kcps()) {
+        let context = if committed.batch_size == fresh.batch_size {
+            String::new()
+        } else {
+            format!(
+                " — batched (size {}) vs sequential-point (size {})",
+                fresh.batch_size, committed.batch_size
+            )
+        };
+        println!(
+            "aggregate throughput ratio (fresh/committed): {:.2}x \
+             ({new_kcps:.0} vs {old_kcps:.0} kcycles/s){context}",
+            new_kcps / old_kcps
+        );
+    }
     if warned {
         eprintln!(
             "note: drops beyond {WARN_DROP_PCT}% flagged above are informational; \
@@ -84,42 +134,73 @@ fn main() {
     }
 }
 
-/// Reads `(study, label, kcycles_per_sec)` configuration aggregates out of a
-/// baseline document, exiting with a warning (and an empty set) if the file
-/// is unreadable or malformed — the delta step must never break CI.
-fn read_configurations(path: &str) -> Vec<(String, String, f64)> {
+/// Reads a baseline document, exiting with a warning (and an empty set) if
+/// the file is unreadable or malformed — the delta step must never break CI.
+fn read_baseline(path: &str) -> Baseline {
+    let empty = Baseline {
+        engine: "?".to_owned(),
+        batch_size: "1".to_owned(),
+        configurations: Vec::new(),
+    };
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
         Err(err) => {
             eprintln!("::warning::cannot read {path}: {err}; skipping comparison");
-            return Vec::new();
+            return empty;
         }
     };
     let document = match json::parse(&text) {
         Ok(document) => document,
         Err(err) => {
             eprintln!("::warning::{path} is not valid JSON ({err}); skipping comparison");
-            return Vec::new();
+            return empty;
         }
     };
-    let mut out = Vec::new();
+    let engine = document
+        .get("engine")
+        .and_then(json::Value::as_str)
+        .unwrap_or("?")
+        .to_owned();
+    // v3 writes a number or the string "full"; earlier schemas (pre-batching,
+    // always the per-run path) have no field at all.
+    let batch_size = match document.get("batch_size") {
+        Some(value) => value
+            .as_u64()
+            .map(|n| n.to_string())
+            .or_else(|| value.as_str().map(str::to_owned))
+            .unwrap_or_else(|| "?".to_owned()),
+        None => "1".to_owned(),
+    };
+    let mut configurations = Vec::new();
     let studies = document.get("studies").and_then(json::Value::as_array);
     for study in studies.unwrap_or_default() {
         let Some(name) = study.get("study").and_then(json::Value::as_str) else {
             continue;
         };
-        let configurations = study
+        let rows = study
             .get("configurations")
             .and_then(json::Value::as_array)
             .unwrap_or_default();
-        for row in configurations {
+        for row in rows {
             if let (Some(label), Some(kcps)) = (
                 row.get("label").and_then(json::Value::as_str),
                 row.get("kcycles_per_sec").and_then(json::Value::as_f64),
             ) {
-                out.push((name.to_owned(), label.to_owned(), kcps));
+                let wall = row
+                    .get("wall_seconds")
+                    .and_then(json::Value::as_f64)
+                    .unwrap_or(0.0);
+                let cycles = row
+                    .get("simulated_cycles")
+                    .and_then(json::Value::as_u64)
+                    .unwrap_or(0);
+                configurations.push((name.to_owned(), label.to_owned(), wall, cycles, kcps));
             }
         }
     }
-    out
+    Baseline {
+        engine,
+        batch_size,
+        configurations,
+    }
 }

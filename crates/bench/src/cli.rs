@@ -108,8 +108,13 @@ pub fn resolved_plan(resolved: &ResolvedScenario) -> Result<ExperimentPlan, Stri
 ///
 /// Returns a printable message for configuration errors.
 pub fn run_plan(plan: &ExperimentPlan) -> Result<(Study, f64), String> {
+    let batch = match plan.options.batch_size {
+        0 | 1 => String::new(),
+        usize::MAX => ", full-width batches".to_owned(),
+        n => format!(", batches of {n}"),
+    };
     eprintln!(
-        "running {:?}: {} configuration(s), {} instructions per run, {} worker thread(s)",
+        "running {:?}: {} configuration(s), {} instructions per run, {} worker thread(s){batch}",
         plan.name,
         plan.configs.len(),
         plan.options.instructions,
@@ -145,12 +150,30 @@ pub fn print_sections(plan: &ExperimentPlan, study: &Study, wall_seconds: f64, s
 ///
 /// Returns a printable message.
 pub fn run_scenario(arg: &str, report_path: Option<&str>) -> Result<(), String> {
+    run_scenario_batched(arg, report_path, None)
+}
+
+/// [`run_scenario`] with an explicit batch size override (the
+/// `lnuca run --batch-size` flag), applied above every other layer —
+/// including `LNUCA_BATCH`.
+///
+/// # Errors
+///
+/// Returns a printable message.
+pub fn run_scenario_batched(
+    arg: &str,
+    report_path: Option<&str>,
+    batch_size: Option<usize>,
+) -> Result<(), String> {
     let resolved = resolve_scenario(arg)?;
     let scenario = &resolved.scenario;
     if !scenario.description.is_empty() {
         eprintln!("{}: {}", scenario.name(), scenario.description);
     }
-    let plan = resolved_plan(&resolved)?;
+    let mut plan = resolved_plan(&resolved)?;
+    if let Some(batch) = batch_size {
+        plan.options.batch_size = batch.max(1);
+    }
     let (study, wall) = run_plan(&plan)?;
     let mut sections = vec![Section::IpcSummary, Section::EnergySummary];
     if study.results.iter().any(|r| r.hierarchy.lnuca.is_some()) {
@@ -647,11 +670,14 @@ lnuca — declarative scenario runner for the Light NUCA reproduction
 
 USAGE:
     lnuca list                          list the built-in scenarios
-    lnuca run <scenario>... [--report PATH]
+    lnuca run <scenario>... [--report PATH] [--batch-size N|full]
                                         run built-in scenario(s) or
                                         lnuca-scenario/v1 file(s); --report
                                         (one scenario only) also writes the
-                                        lnuca-report/v1 JSON document
+                                        lnuca-report/v1 JSON document;
+                                        --batch-size steps N simulations in
+                                        lockstep per worker (bit-identical
+                                        results, DESIGN.md §13)
     lnuca validate <file>...            strictly parse scenario files
                                         (unknown fields fail)
     lnuca export <name>                 print a built-in scenario as its
@@ -689,6 +715,7 @@ pub fn cli_main(args: &[String]) -> i32 {
         "run" => {
             let mut scenarios: Vec<&String> = Vec::new();
             let mut report: Option<&str> = None;
+            let mut batch_size: Option<usize> = None;
             let mut iter = rest.iter();
             while let Some(arg) = iter.next() {
                 if arg == "--report" {
@@ -696,6 +723,16 @@ pub fn cli_main(args: &[String]) -> i32 {
                         Some(path) => report = Some(path),
                         None => {
                             eprintln!("error: --report needs a path\n{USAGE}");
+                            return 2;
+                        }
+                    }
+                } else if arg == "--batch-size" {
+                    match iter.next().and_then(|raw| knobs::parse_batch(raw)) {
+                        Some(batch) => batch_size = Some(batch),
+                        None => {
+                            eprintln!(
+                                "error: --batch-size needs a batch size >= 1, or \"full\"\n{USAGE}"
+                            );
                             return 2;
                         }
                     }
@@ -712,7 +749,7 @@ pub fn cli_main(args: &[String]) -> i32 {
                 return 2;
             }
             for arg in scenarios {
-                if let Err(e) = run_scenario(arg, report) {
+                if let Err(e) = run_scenario_batched(arg, report, batch_size) {
                     eprintln!("error: {e}");
                     return 1;
                 }
@@ -837,6 +874,21 @@ mod tests {
         assert_eq!(cli_main(&[]), 2);
         assert_eq!(cli_main(&["frobnicate".to_owned()]), 2);
         assert_eq!(cli_main(&["run".to_owned()]), 2);
+        assert_eq!(
+            cli_main(&["run".to_owned(), "paper-dnuca".to_owned(), "--batch-size".to_owned()]),
+            2,
+            "--batch-size without a value is a usage error"
+        );
+        assert_eq!(
+            cli_main(&[
+                "run".to_owned(),
+                "paper-dnuca".to_owned(),
+                "--batch-size".to_owned(),
+                "0".to_owned()
+            ]),
+            2,
+            "a zero batch is rejected before anything runs"
+        );
         assert_eq!(cli_main(&["export".to_owned(), "nope".to_owned()]), 1);
     }
 }

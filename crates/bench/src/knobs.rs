@@ -19,7 +19,7 @@
 //! The variables (see the crate docs for the full prose): `LNUCA_QUICK`,
 //! `LNUCA_INSTRUCTIONS`, `LNUCA_BENCHMARKS_PER_SUITE`, `LNUCA_SEED`,
 //! `LNUCA_LEVELS`, `LNUCA_WORKLOADS`, `LNUCA_THREADS`, `LNUCA_ENGINE`,
-//! `LNUCA_BENCH_JSON`.
+//! `LNUCA_BATCH`, `LNUCA_BENCH_JSON`.
 
 use lnuca_sim::experiments::{ExperimentOptions, WorkloadSelection};
 use lnuca_sim::system::Engine;
@@ -100,6 +100,21 @@ pub fn parse_workloads(raw: &str) -> Option<WorkloadSelection> {
     }
 }
 
+/// Parses an `LNUCA_BATCH` value: a batch size of at least 1, or
+/// `full`/`max` for one full-width batch per worker-claimed chunk
+/// (`usize::MAX`, see `ExperimentOptions::batch_size`). `None` for `0` or
+/// anything unrecognised.
+#[must_use]
+pub fn parse_batch(raw: &str) -> Option<usize> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "full" | "max" => Some(usize::MAX),
+        trimmed => match trimmed.parse::<usize>() {
+            Ok(n) if n >= 1 => Some(n),
+            _ => None,
+        },
+    }
+}
+
 /// Parses an `LNUCA_LEVELS` value: comma-separated level counts in 2..=8.
 /// `None` when nothing valid remains.
 #[must_use]
@@ -171,6 +186,12 @@ pub fn apply_env(opts: &mut ExperimentOptions) {
             None => warn_malformed("LNUCA_ENGINE", &raw, "\"event\" or \"cycle\""),
         }
     }
+    if let Ok(raw) = std::env::var("LNUCA_BATCH") {
+        match parse_batch(&raw) {
+            Some(batch) => opts.batch_size = batch,
+            None => warn_malformed("LNUCA_BATCH", &raw, "a batch size >= 1, or \"full\""),
+        }
+    }
     opts.threads = match env_u64("LNUCA_THREADS") {
         Some(v) => usize::try_from(v).unwrap_or(usize::MAX).max(1),
         None if opts.threads == 0 => default_threads(),
@@ -230,6 +251,17 @@ mod tests {
         assert_eq!(parse_levels("2,3,4"), Some(vec![2, 3, 4]));
         assert_eq!(parse_levels(" 5 "), Some(vec![5]));
         assert_eq!(parse_levels("1,9,zzz"), None, "out-of-range and junk leave nothing");
+    }
+
+    #[test]
+    fn batch_values_parse() {
+        assert_eq!(parse_batch("1"), Some(1));
+        assert_eq!(parse_batch(" 8 "), Some(8));
+        assert_eq!(parse_batch("full"), Some(usize::MAX));
+        assert_eq!(parse_batch("MAX"), Some(usize::MAX));
+        assert_eq!(parse_batch("0"), None, "a zero batch is meaningless");
+        assert_eq!(parse_batch("-2"), None);
+        assert_eq!(parse_batch("wide"), None);
     }
 
     #[test]

@@ -98,7 +98,12 @@ impl MshrFile {
                 .map(|_| MshrSlot {
                     block: Addr(0),
                     live: false,
-                    waiters: Vec::new(),
+                    // Full capacity up front (primary + merged secondaries)
+                    // so even the *first* allocate/merge cycle of a slot
+                    // never grows the vector: the zero-allocation window of
+                    // a batched run starts at construction, not after a
+                    // warm-up (DESIGN.md §9/§13).
+                    waiters: Vec::with_capacity(1 + secondary_per_entry),
                 })
                 .collect(),
             occupancy: 0,

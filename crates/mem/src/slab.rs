@@ -1,0 +1,246 @@
+//! A structure-of-arrays arena for the packed tag lanes of a simulation
+//! batch (DESIGN.md §13).
+//!
+//! When N independent simulations are stepped in lockstep by one worker,
+//! their hot state — the packed `u64` tag lanes every [`crate::CacheArray`]
+//! scans on each access — should live side by side in a few large
+//! contiguous chunks instead of N scattered per-array heap boxes: the
+//! batch's working set then walks forward through memory as the members
+//! advance together, which is the cache-friendly layout batched execution
+//! exists for (and the same layout a future SIMD/GPU port would require).
+//!
+//! A [`TagSlab`] is a bump allocator over `Arc<[AtomicU64]>` chunks.
+//! Installing it with [`TagSlab::scoped`] makes every [`crate::CacheArray`]
+//! constructed inside the closure carve its tag lane out of the slab
+//! instead of allocating its own box; arrays built outside a scope are
+//! unaffected. Ranges are handed out once and never recycled — the slab is
+//! construction-time machinery, so the steady-state zero-allocation rule
+//! (DESIGN.md §9) is untouched.
+//!
+//! The words are `AtomicU64` only so that arrays holding disjoint ranges of
+//! one chunk can all mutate their own range through a shared `Arc` without
+//! `unsafe` (the whole workspace forbids it) and without poisoning every
+//! `CacheArray` with `!Send`. All accesses use relaxed ordering — on every
+//! mainstream ISA a plain load/store — and no two arrays ever touch the
+//! same word, so there is no synchronisation, only a safe shared-ownership
+//! story.
+//!
+//! # Example
+//!
+//! ```
+//! use lnuca_mem::{CacheArray, CacheGeometry, ReplacementPolicy, TagSlab};
+//! use lnuca_types::Addr;
+//!
+//! let slab = TagSlab::new();
+//! let geometry = CacheGeometry::new(8 * 1024, 2, 32)?;
+//! let (mut a, mut b) = slab.scoped(|| {
+//!     (
+//!         CacheArray::new(geometry, ReplacementPolicy::Lru),
+//!         CacheArray::new(geometry, ReplacementPolicy::Lru),
+//!     )
+//! });
+//! // Both tag lanes share one chunk; behaviour is identical to owned mode.
+//! assert_eq!(slab.allocated_words(), 2 * geometry.lines());
+//! assert_eq!(slab.chunk_count(), 1);
+//! a.fill(Addr(0x40), false);
+//! assert!(a.lookup(Addr(0x40)).is_some());
+//! assert!(b.lookup(Addr(0x40)).is_none(), "members stay fully isolated");
+//! # Ok::<(), lnuca_types::ConfigError>(())
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+/// Default chunk size, in `u64` words. Large enough that a whole paper
+/// hierarchy (L1 + fabric tiles + L2/L3 or D-NUCA banks, ~145k lines for
+/// the biggest shape) fits in a handful of chunks, small enough that a
+/// tiny batch does not commit tens of megabytes.
+const DEFAULT_CHUNK_WORDS: usize = 1 << 18;
+
+/// The empty-way sentinel the tag lanes are initialised to; must match
+/// `array::EMPTY_TAG`.
+const EMPTY_WORD: u64 = u64::MAX;
+
+/// A bump-allocated arena of packed tag words, shared by every
+/// [`crate::CacheArray`] built inside a [`TagSlab::scoped`] region.
+///
+/// Cloning a `TagSlab` is cheap and yields a handle to the same arena.
+/// The handle itself is single-threaded (`!Send`); the chunks it hands out
+/// are `Arc<[AtomicU64]>`, so the arrays that hold them remain `Send`.
+#[derive(Debug, Clone, Default)]
+pub struct TagSlab {
+    inner: Rc<RefCell<SlabInner>>,
+}
+
+#[derive(Debug)]
+struct SlabInner {
+    chunks: Vec<Arc<[AtomicU64]>>,
+    /// Words already carved out of the last chunk.
+    cursor: usize,
+    chunk_words: usize,
+    allocated: usize,
+}
+
+impl Default for SlabInner {
+    fn default() -> Self {
+        SlabInner {
+            chunks: Vec::new(),
+            cursor: 0,
+            chunk_words: DEFAULT_CHUNK_WORDS,
+            allocated: 0,
+        }
+    }
+}
+
+thread_local! {
+    /// The slab new [`crate::CacheArray`]s carve their tag lanes from, if
+    /// any ([`TagSlab::scoped`] installs it).
+    static CURRENT: RefCell<Option<TagSlab>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously installed slab when a scope ends, even on
+/// panic, so a failing batch constructor cannot leak its slab into
+/// unrelated code on the same thread.
+struct ScopeGuard {
+    previous: Option<TagSlab>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|current| {
+            *current.borrow_mut() = self.previous.take();
+        });
+    }
+}
+
+impl TagSlab {
+    /// Creates an empty slab with the default chunk size.
+    #[must_use]
+    pub fn new() -> Self {
+        TagSlab::default()
+    }
+
+    /// Creates an empty slab whose chunks hold `chunk_words` words
+    /// (clamped to at least 1). Lanes longer than a chunk get a dedicated
+    /// chunk of exactly their length.
+    #[must_use]
+    pub fn with_chunk_words(chunk_words: usize) -> Self {
+        let slab = TagSlab::new();
+        slab.inner.borrow_mut().chunk_words = chunk_words.max(1);
+        slab
+    }
+
+    /// Runs `f` with this slab installed as the thread's current tag
+    /// arena: every [`crate::CacheArray`] constructed inside allocates its
+    /// tag lane from the slab. Scopes nest (the previous slab is restored
+    /// on exit, panic included).
+    pub fn scoped<R>(&self, f: impl FnOnce() -> R) -> R {
+        let previous = CURRENT.with(|current| current.borrow_mut().replace(self.clone()));
+        let _guard = ScopeGuard { previous };
+        f()
+    }
+
+    /// The slab installed by the innermost active [`TagSlab::scoped`] on
+    /// this thread, if any.
+    #[must_use]
+    pub fn current() -> Option<TagSlab> {
+        CURRENT.with(|current| current.borrow().clone())
+    }
+
+    /// Carves a `len`-word lane out of the slab, opening a new chunk when
+    /// the current one cannot hold it. Returns the chunk and the lane's
+    /// starting word. Every word is initialised to the empty-way sentinel.
+    #[must_use]
+    pub(crate) fn alloc(&self, len: usize) -> (Arc<[AtomicU64]>, usize) {
+        let mut inner = self.inner.borrow_mut();
+        let fits = inner
+            .chunks
+            .last()
+            .is_some_and(|chunk| inner.cursor + len <= chunk.len());
+        if !fits {
+            let words = inner.chunk_words.max(len);
+            let chunk: Arc<[AtomicU64]> = (0..words).map(|_| AtomicU64::new(EMPTY_WORD)).collect();
+            inner.chunks.push(chunk);
+            inner.cursor = 0;
+        }
+        let start = inner.cursor;
+        inner.cursor += len;
+        inner.allocated += len;
+        let chunk = inner.chunks.last().expect("a chunk was just ensured").clone();
+        (chunk, start)
+    }
+
+    /// Total words carved out so far.
+    #[must_use]
+    pub fn allocated_words(&self) -> usize {
+        self.inner.borrow().allocated
+    }
+
+    /// Number of chunks backing the carved lanes (co-located lanes share
+    /// chunks; this is how tests assert the structure-of-arrays layout).
+    #[must_use]
+    pub fn chunk_count(&self) -> usize {
+        self.inner.borrow().chunks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn lanes_pack_into_shared_chunks_in_order() {
+        let slab = TagSlab::with_chunk_words(16);
+        let (c1, s1) = slab.alloc(5);
+        let (c2, s2) = slab.alloc(7);
+        assert!(Arc::ptr_eq(&c1, &c2), "both lanes fit one chunk");
+        assert_eq!((s1, s2), (0, 5));
+        let (c3, s3) = slab.alloc(6);
+        assert!(!Arc::ptr_eq(&c1, &c3), "a full chunk opens a new one");
+        assert_eq!(s3, 0);
+        assert_eq!(slab.allocated_words(), 18);
+        assert_eq!(slab.chunk_count(), 2);
+    }
+
+    #[test]
+    fn oversized_lanes_get_a_dedicated_chunk() {
+        let slab = TagSlab::with_chunk_words(8);
+        let (chunk, start) = slab.alloc(100);
+        assert_eq!(start, 0);
+        assert_eq!(chunk.len(), 100);
+        assert!(chunk.iter().all(|w| w.load(Ordering::Relaxed) == EMPTY_WORD));
+    }
+
+    #[test]
+    fn scopes_nest_and_restore_on_exit() {
+        assert!(TagSlab::current().is_none());
+        let outer = TagSlab::new();
+        outer.scoped(|| {
+            let inner = TagSlab::new();
+            inner.scoped(|| {
+                let current = TagSlab::current().expect("inner scope installs");
+                let _ = current.alloc(4);
+            });
+            assert_eq!(inner.allocated_words(), 4);
+            assert_eq!(outer.allocated_words(), 0, "inner scope shadows the outer slab");
+            assert!(Rc::ptr_eq(
+                &TagSlab::current().expect("outer restored").inner,
+                &outer.inner
+            ));
+        });
+        assert!(TagSlab::current().is_none());
+    }
+
+    #[test]
+    fn scopes_restore_on_panic() {
+        let slab = TagSlab::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            slab.scoped(|| panic!("boom"));
+        }));
+        assert!(caught.is_err());
+        assert!(TagSlab::current().is_none(), "the guard uninstalls on unwind");
+    }
+}

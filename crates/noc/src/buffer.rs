@@ -165,6 +165,33 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
+    /// Batch construction performs every allocation up front (DESIGN.md
+    /// §9.2/§13): the backing storage is reserved in `new`, so a buffer
+    /// cycled through arbitrary push/pop/retain traffic at steady state
+    /// never grows it. `VecDeque` only reallocates when occupancy would
+    /// exceed capacity — which `push` rejects — so the pin is the raw
+    /// capacity staying put.
+    #[test]
+    fn steady_state_cycling_never_grows_the_backing_storage() {
+        let mut b: OnOffBuffer<u64> = OnOffBuffer::new(2);
+        let reserved = b.entries.capacity();
+        for turn in 0..10_000u64 {
+            let _ = b.push(turn);
+            match turn % 5 {
+                0 => {
+                    b.pop();
+                }
+                1 => b.retain(|&m| m % 3 != 0),
+                2 => {
+                    b.pop();
+                    b.pop();
+                }
+                _ => {}
+            }
+            assert_eq!(b.entries.capacity(), reserved, "turn {turn} reallocated");
+        }
+    }
+
     #[test]
     fn respects_capacity_and_fifo_order() {
         let mut b = OnOffBuffer::new(2);

@@ -1,0 +1,415 @@
+//! Batched data-parallel execution: one worker steps N independent
+//! simulations in lockstep (DESIGN.md §13).
+//!
+//! A [`BatchRunner`] owns N fully independent members (hierarchy + core +
+//! trace, exactly what [`crate::system::System::run_spec_probed`] builds)
+//! and generalises the event-horizon engine (DESIGN.md §10) to a
+//! **per-batch horizon heap**: each live member's next due cycle sits in a
+//! min-heap, every [`BatchRunner::step`] advances the batch clock to the
+//! minimum due cycle and ticks exactly the members scheduled there (ties
+//! broken by member index). Members that finish — or go quiescent past
+//! their cycle cap — retire and drop out of the heap.
+//!
+//! Because every member is ticked at precisely the clock values its own
+//! solo run loop would visit, with identical state transitions in between,
+//! a batched run is **bit-identical** to its single-run counterpart for
+//! every member — results *and* probe event streams. This is the
+//! batch-equivalence invariant; `lnuca-verify` layers it over the
+//! differential oracle and `tests/batch_equivalence.rs` pins it across the
+//! full verify matrix.
+//!
+//! Members are constructed inside one [`TagSlab`] scope, so their packed
+//! tag lanes land side by side in a few contiguous chunks
+//! (structure-of-arrays across the batch) instead of N scattered boxes.
+//! After construction the steady-state loop performs no heap allocation
+//! (DESIGN.md §9); memory is touched again only when a member retires and
+//! its [`RunResult`] is materialised.
+//!
+//! # Example
+//!
+//! ```
+//! use lnuca_sim::batch::{BatchJob, BatchRunner};
+//! use lnuca_sim::spec::HierarchySpec;
+//! use lnuca_sim::system::{Engine, System};
+//! use lnuca_workloads::suites;
+//!
+//! let spec = HierarchySpec::builder()
+//!     .fabric(lnuca_core::LNucaConfig::paper(2)?)
+//!     .build()?;
+//! let profiles = suites::spec_int_like();
+//! let jobs: Vec<BatchJob> = profiles[..2]
+//!     .iter()
+//!     .map(|profile| BatchJob { spec: &spec, profile, instructions: 2_000, seed: 7 })
+//!     .collect();
+//! let batched = BatchRunner::new(Engine::EventHorizon, &jobs)?.run_results();
+//! let solo = System::run_spec_with(Engine::EventHorizon, &spec, &profiles[0], 2_000, 7)?;
+//! assert_eq!(batched[0], solo, "batched members are bit-identical to solo runs");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::energy_model;
+use crate::hierarchy::AnyHierarchy;
+use crate::spec::HierarchySpec;
+use crate::system::{Engine, RunResult, System};
+use lnuca_cpu::{CoreConfig, DataMemory, OooCore};
+use lnuca_mem::{NoProbe, ProbeSink, TagSlab};
+use lnuca_types::{ConfigError, Cycle};
+use lnuca_workloads::{Suite, TraceGenerator, WorkloadProfile};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One member of a batch: the same (spec, profile, instructions, seed)
+/// quadruple a solo [`System::run_spec_with`] call takes.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchJob<'a> {
+    /// Hierarchy to simulate.
+    pub spec: &'a HierarchySpec,
+    /// Synthetic workload profile.
+    pub profile: &'a WorkloadProfile,
+    /// Instruction budget.
+    pub instructions: u64,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+/// One in-flight member: its components plus its private clock. The clock
+/// always holds the `now` value the member's solo run loop would see at
+/// the top of its next iteration.
+struct Member<P: ProbeSink> {
+    hierarchy: AnyHierarchy<P>,
+    core: OooCore<std::iter::Take<TraceGenerator>>,
+    workload: String,
+    suite: Suite,
+    /// Safety cap, identical to the solo loop's
+    /// (`instructions * 400 + 1_000_000`).
+    cap: u64,
+    now: Cycle,
+    done: Option<RunResult>,
+}
+
+/// Steps a batch of independent simulations in lockstep; see the
+/// [module docs](self) for the execution model and the equivalence
+/// invariant.
+pub struct BatchRunner<P: ProbeSink = NoProbe> {
+    engine: Engine,
+    members: Vec<Member<P>>,
+    /// Min-heap of `(due cycle, member index)` over the live members.
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Scratch for the member indices due at the current horizon
+    /// (preallocated: the steady-state loop must not allocate).
+    due_scratch: Vec<usize>,
+    live: usize,
+    slab: TagSlab,
+}
+
+impl BatchRunner<NoProbe> {
+    /// Builds a batch over `jobs` with no instrumentation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any member's configuration is invalid.
+    pub fn new(engine: Engine, jobs: &[BatchJob<'_>]) -> Result<Self, ConfigError> {
+        Self::with_probes(engine, jobs, || NoProbe)
+    }
+}
+
+impl<P: ProbeSink> BatchRunner<P> {
+    /// Builds a batch over `jobs`, giving each member the probe sink the
+    /// factory produces for it (in job order). Like the solo probed entry
+    /// points, probes observe but never feed back: results are
+    /// bit-identical for any sink.
+    ///
+    /// All allocation happens here: member components are built inside one
+    /// [`TagSlab`] scope (co-locating their tag lanes), and the horizon
+    /// heap and scratch buffers are sized for the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any member's configuration is invalid.
+    pub fn with_probes(
+        engine: Engine,
+        jobs: &[BatchJob<'_>],
+        mut probe: impl FnMut() -> P,
+    ) -> Result<Self, ConfigError> {
+        let slab = TagSlab::new();
+        let members = slab.scoped(|| -> Result<Vec<Member<P>>, ConfigError> {
+            let mut members = Vec::with_capacity(jobs.len());
+            for job in jobs {
+                let hierarchy = System::build_spec_probed(job.spec, probe())?;
+                let trace = TraceGenerator::new(job.profile.clone(), job.seed)
+                    .take(usize::try_from(job.instructions).unwrap_or(usize::MAX));
+                let core = OooCore::new(CoreConfig::paper(), trace)?;
+                members.push(Member {
+                    hierarchy,
+                    core,
+                    workload: job.profile.name.clone(),
+                    suite: job.profile.suite,
+                    cap: job.instructions.saturating_mul(400) + 1_000_000,
+                    now: Cycle(0),
+                    done: None,
+                });
+            }
+            Ok(members)
+        })?;
+
+        let mut runner = BatchRunner {
+            engine,
+            heap: BinaryHeap::with_capacity(members.len() + 1),
+            due_scratch: Vec::with_capacity(members.len()),
+            live: 0,
+            members,
+            slab,
+        };
+        for idx in 0..runner.members.len() {
+            // Mirror the solo loop's entry condition: a member that is
+            // already finished (or capped) at cycle 0 retires without a
+            // single tick, exactly as the solo `while` would never run.
+            let member = &mut runner.members[idx];
+            if member.core.is_finished() || member.now.0 >= member.cap {
+                retire(member);
+            } else {
+                runner.heap.push(Reverse((member.now.0, idx)));
+                runner.live += 1;
+            }
+        }
+        Ok(runner)
+    }
+
+    /// Number of members (live or retired).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when the batch has no members at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Number of members still running.
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// The batch clock: the minimum due cycle across live members (`None`
+    /// once every member has retired).
+    #[must_use]
+    pub fn clock(&self) -> Option<Cycle> {
+        self.heap.peek().map(|&Reverse((due, _))| Cycle(due))
+    }
+
+    /// The tag arena the members' packed lanes were carved from.
+    #[must_use]
+    pub fn slab(&self) -> &TagSlab {
+        &self.slab
+    }
+
+    /// Advances the batch clock to the minimum due cycle and ticks every
+    /// member scheduled there (ascending member index), re-scheduling each
+    /// at its next due cycle or retiring it. Returns `true` while members
+    /// remain live.
+    ///
+    /// The steady-state path performs no heap allocation; a retiring
+    /// member allocates once to materialise its [`RunResult`].
+    pub fn step(&mut self) -> bool {
+        let Some(&Reverse((horizon, _))) = self.heap.peek() else {
+            return false;
+        };
+        self.due_scratch.clear();
+        while let Some(&Reverse((due, idx))) = self.heap.peek() {
+            if due != horizon {
+                break;
+            }
+            self.heap.pop();
+            self.due_scratch.push(idx);
+        }
+        for i in 0..self.due_scratch.len() {
+            let idx = self.due_scratch[i];
+            match advance(&mut self.members[idx], self.engine) {
+                Some(next) => self.heap.push(Reverse((next.0, idx))),
+                None => {
+                    retire(&mut self.members[idx]);
+                    self.live -= 1;
+                }
+            }
+        }
+        self.live > 0
+    }
+
+    /// Runs the batch to completion and returns every member's result and
+    /// final hierarchy (probe still inside), in job order.
+    #[must_use]
+    pub fn run(mut self) -> Vec<(RunResult, AnyHierarchy<P>)> {
+        while self.step() {}
+        self.members
+            .into_iter()
+            .map(|m| (m.done.expect("stepping retired every member"), m.hierarchy))
+            .collect()
+    }
+
+    /// Runs the batch to completion and returns the results in job order.
+    #[must_use]
+    pub fn run_results(self) -> Vec<RunResult> {
+        self.run().into_iter().map(|(result, _)| result).collect()
+    }
+}
+
+/// One iteration of the member's solo run loop (same tick order, same
+/// engine formulas, same cap as [`System::run_spec_probed`]): ticks the
+/// member at `member.now`, stores its next clock value, and returns the
+/// next due cycle — or `None` when the solo loop would exit.
+fn advance<P: ProbeSink>(member: &mut Member<P>, engine: Engine) -> Option<Cycle> {
+    let now = member.now;
+    let cap = member.cap;
+    member.hierarchy.tick(now);
+    member.core.tick(now, &mut member.hierarchy);
+    let next = match engine {
+        Engine::CycleStep => now.next(),
+        Engine::EventHorizon => {
+            if member.core.is_finished() {
+                // Match the reference engine's final clock exactly.
+                now.next()
+            } else {
+                let horizon = match (member.hierarchy.next_event(now), member.core.next_event(now)) {
+                    (Some(h), Some(c)) => Some(h.min(c)),
+                    (h, c) => h.or(c),
+                };
+                horizon
+                    .unwrap_or(Cycle(cap))
+                    .max(now.next())
+                    .min(Cycle(cap).max(now.next()))
+            }
+        }
+    };
+    member.now = next;
+    (!member.core.is_finished() && next.0 < cap).then_some(next)
+}
+
+/// Finalises a member exactly as the solo run tail does and materialises
+/// its [`RunResult`].
+fn retire<P: ProbeSink>(member: &mut Member<P>) {
+    let now = member.now;
+    member.core.finalize_stats(now);
+    let stats = member.hierarchy.stats();
+    let energy = energy_model::account_for(&stats, now.0);
+    member.done = Some(RunResult {
+        label: stats.label.clone(),
+        workload: member.workload.clone(),
+        suite: member.suite,
+        instructions: member.core.committed(),
+        cycles: now.0,
+        ipc: member.core.stats().ipc(now),
+        core: *member.core.stats(),
+        hierarchy: stats,
+        energy,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::{self, HierarchyKind};
+    use lnuca_workloads::suites;
+
+    fn paper_specs() -> Vec<HierarchySpec> {
+        vec![
+            HierarchyKind::Conventional(configs::conventional()).to_spec(),
+            HierarchyKind::LNucaL3(configs::lnuca_hierarchy(2)).to_spec(),
+            HierarchyKind::DNuca(configs::dnuca_hierarchy()).to_spec(),
+        ]
+    }
+
+    #[test]
+    fn a_mixed_batch_matches_its_solo_runs_bit_for_bit() {
+        for engine in [Engine::EventHorizon, Engine::CycleStep] {
+            let specs = paper_specs();
+            let profiles = suites::spec_int_like();
+            let jobs: Vec<BatchJob> = specs
+                .iter()
+                .zip(&profiles)
+                .enumerate()
+                .map(|(i, (spec, profile))| BatchJob {
+                    spec,
+                    profile,
+                    instructions: 1_500 + 200 * i as u64,
+                    seed: 3 + i as u64,
+                })
+                .collect();
+            let batched = BatchRunner::new(engine, &jobs).unwrap().run_results();
+            for (job, result) in jobs.iter().zip(&batched) {
+                let solo =
+                    System::run_spec_with(engine, job.spec, job.profile, job.instructions, job.seed)
+                        .unwrap();
+                assert_eq!(result, &solo, "{} under {:?}", job.profile.name, engine);
+            }
+        }
+    }
+
+    #[test]
+    fn members_retire_independently_and_in_any_order() {
+        let specs = paper_specs();
+        let profile = &suites::spec_int_like()[0];
+        // Wildly different budgets: the long member keeps running after the
+        // short ones retire.
+        let jobs: Vec<BatchJob> = [4_000u64, 0, 400]
+            .iter()
+            .map(|&instructions| BatchJob {
+                spec: &specs[1],
+                profile,
+                instructions,
+                seed: 11,
+            })
+            .collect();
+        let mut runner = BatchRunner::new(Engine::EventHorizon, &jobs).unwrap();
+        assert_eq!(runner.len(), 3);
+        assert_eq!(runner.live(), 3, "even a zero-budget member gets its first tick, as solo would");
+        while runner.step() {}
+        assert_eq!(runner.live(), 0);
+        assert!(runner.clock().is_none());
+        let results = runner.run_results();
+        assert_eq!(results[0].instructions, 4_000);
+        assert_eq!(results[1].instructions, 0);
+        assert_eq!(results[2].instructions, 400);
+        for (job, result) in jobs.iter().zip(&results) {
+            let solo = System::run_spec_with(
+                Engine::EventHorizon,
+                job.spec,
+                job.profile,
+                job.instructions,
+                job.seed,
+            )
+            .unwrap();
+            assert_eq!(result, &solo);
+        }
+    }
+
+    #[test]
+    fn batch_members_share_slab_chunks() {
+        let specs = paper_specs();
+        let profile = &suites::spec_int_like()[0];
+        let jobs: Vec<BatchJob> = (0..4)
+            .map(|i| BatchJob {
+                spec: &specs[0],
+                profile,
+                instructions: 100,
+                seed: i,
+            })
+            .collect();
+        let runner = BatchRunner::new(Engine::EventHorizon, &jobs).unwrap();
+        assert!(runner.slab().allocated_words() > 0, "tag lanes come from the slab");
+        assert!(
+            runner.slab().chunk_count() < 4,
+            "members' lanes are co-located, not one chunk per member"
+        );
+    }
+
+    #[test]
+    fn an_empty_batch_is_immediately_complete() {
+        let mut runner = BatchRunner::new(Engine::EventHorizon, &[]).unwrap();
+        assert!(runner.is_empty());
+        assert!(!runner.step());
+        assert!(runner.run_results().is_empty());
+    }
+}

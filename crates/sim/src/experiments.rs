@@ -98,6 +98,14 @@ pub struct ExperimentOptions {
     /// (`tests/event_horizon_determinism.rs`), so summaries never depend on
     /// it. Recorded in the `lnuca-bench-baseline/v2` perf baseline.
     pub engine: Engine,
+    /// Simulations stepped in lockstep per worker (DESIGN.md §13): the job
+    /// matrix is cut into contiguous batches of this size, each run by one
+    /// [`crate::batch::BatchRunner`]. `1` (the default) preserves the
+    /// per-run path; `usize::MAX` means one batch per worker-claimed chunk
+    /// spanning everything. Like `threads` and `engine` this changes only
+    /// the wall clock — every batched run is bit-identical to its solo
+    /// counterpart (`tests/batch_equivalence.rs`).
+    pub batch_size: usize,
 }
 
 impl Default for ExperimentOptions {
@@ -110,6 +118,7 @@ impl Default for ExperimentOptions {
             lnuca_levels: vec![2, 3, 4],
             threads: 1,
             engine: Engine::EventHorizon,
+            batch_size: 1,
         }
     }
 }
@@ -126,6 +135,7 @@ impl ExperimentOptions {
             lnuca_levels: vec![2, 3],
             threads: 1,
             engine: Engine::EventHorizon,
+            batch_size: 1,
         }
     }
 
@@ -227,6 +237,14 @@ impl ExperimentOptionsBuilder {
     #[must_use]
     pub fn engine(mut self, engine: Engine) -> Self {
         self.options.engine = engine;
+        self
+    }
+
+    /// Sets how many simulations each worker steps in lockstep (clamped to
+    /// at least 1; 1 = the per-run path).
+    #[must_use]
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.options.batch_size = batch_size.max(1);
         self
     }
 
@@ -590,7 +608,13 @@ impl Study {
         }
         let mut results = Vec::with_capacity(jobs.len());
         let mut perf = Vec::with_capacity(jobs.len());
-        for outcome in run_jobs(&jobs, opts.instructions, opts.threads, opts.engine) {
+        for outcome in run_jobs(
+            &jobs,
+            opts.instructions,
+            opts.threads,
+            opts.engine,
+            opts.batch_size,
+        ) {
             let (result, run_perf) = outcome?;
             results.push(result);
             perf.push(run_perf);
@@ -768,19 +792,108 @@ fn run_job(job: &Job<'_>, instructions: u64, engine: Engine) -> JobOutcome {
     Ok((result, perf))
 }
 
+/// Runs one contiguous batch of the matrix through a
+/// [`crate::batch::BatchRunner`], returning per-job outcomes in batch
+/// order.
+///
+/// Per-run wall clock is unmeasurable inside a lockstep batch, so the
+/// batch's wall time is attributed to its members in proportion to their
+/// simulated cycles (every member's `kcycles_per_sec` is then the batch's
+/// aggregate throughput). [`RunPerf`] is host-dependent by contract;
+/// results stay bit-identical to solo runs.
+fn run_batch(batch: &[Job<'_>], instructions: u64, engine: Engine) -> Vec<JobOutcome> {
+    let batch_jobs: Vec<crate::batch::BatchJob<'_>> = batch
+        .iter()
+        .map(|job| crate::batch::BatchJob {
+            spec: job.spec,
+            profile: job.profile,
+            instructions,
+            seed: job.seed,
+        })
+        .collect();
+    let started = Instant::now();
+    let runner = match crate::batch::BatchRunner::new(engine, &batch_jobs) {
+        Ok(runner) => runner,
+        Err(e) => return batch.iter().map(|_| Err(e.clone())).collect(),
+    };
+    let results = runner.run_results();
+    let wall = started.elapsed();
+    let total_cycles: u64 = results.iter().map(|r| r.cycles).sum();
+    results
+        .into_iter()
+        .map(|result| {
+            let share = if total_cycles == 0 {
+                1.0 / batch.len().max(1) as f64
+            } else {
+                result.cycles as f64 / total_cycles as f64
+            };
+            let seconds = wall.as_secs_f64() * share;
+            let perf = RunPerf {
+                label: result.label.clone(),
+                workload: result.workload.clone(),
+                wall_nanos: (wall.as_nanos() as f64 * share) as u64,
+                cycles: result.cycles,
+                kcycles_per_sec: if seconds > 0.0 {
+                    result.cycles as f64 / 1_000.0 / seconds
+                } else {
+                    0.0
+                },
+            };
+            Ok((result, perf))
+        })
+        .collect()
+}
+
 /// Runs the experiment matrix on up to `threads` scoped workers pulling
-/// jobs from a shared queue, returning the outcomes in job order.
+/// work from a shared queue, returning the outcomes in job order.
+///
+/// With `batch_size <= 1` the unit of work is one job; otherwise the job
+/// list is cut into contiguous batches of `batch_size` (in job order) and
+/// each worker steps a whole batch in lockstep ([`crate::batch`]).
 ///
 /// Each job builds its own hierarchy, trace generator and core from nothing
 /// but the job description, so runs share no state and the outcome vector is
-/// bit-identical to a sequential execution — the workers only change which
-/// wall-clock instant each run happens at.
+/// bit-identical to a sequential execution — the workers and the batch cut
+/// only change which wall-clock instant each run happens at.
 fn run_jobs(
     jobs: &[Job<'_>],
     instructions: u64,
     threads: usize,
     engine: Engine,
+    batch_size: usize,
 ) -> Vec<JobOutcome> {
+    if batch_size > 1 {
+        let batches: Vec<&[Job<'_>]> = jobs.chunks(batch_size).collect();
+        let threads = threads.max(1).min(batches.len().max(1));
+        if threads == 1 {
+            return batches
+                .iter()
+                .flat_map(|batch| run_batch(batch, instructions, engine))
+                .collect();
+        }
+        let next_batch = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Vec<JobOutcome>>>> =
+            batches.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next_batch.fetch_add(1, Ordering::Relaxed);
+                    let Some(batch) = batches.get(i) else { break };
+                    let outcomes = run_batch(batch, instructions, engine);
+                    *slots[i].lock().expect("no other holder can panic") = Some(outcomes);
+                });
+            }
+        });
+        return slots
+            .into_iter()
+            .flat_map(|slot| {
+                slot.into_inner()
+                    .expect("worker panics propagate out of the scope")
+                    .expect("every batch index below batches.len() was claimed exactly once")
+            })
+            .collect();
+    }
+
     let threads = threads.max(1).min(jobs.len().max(1));
     if threads == 1 {
         return jobs
@@ -1005,6 +1118,26 @@ mod tests {
         // Perf is recorded for every run either way (values are host noise).
         assert_eq!(parallel.perf.len(), parallel.results.len());
         assert!(parallel.perf.iter().all(|p| p.wall_nanos > 0 && p.cycles > 0));
+    }
+
+    #[test]
+    fn batch_size_does_not_change_results() {
+        let mut opts = ExperimentOptions::quick();
+        opts.instructions = 2_000;
+        opts.lnuca_levels = vec![2];
+        let sequential = conventional(&opts).unwrap();
+        for batch_size in [2, 3, usize::MAX] {
+            opts.batch_size = batch_size;
+            let batched = conventional(&opts).unwrap();
+            assert_eq!(sequential.results, batched.results, "batch size {batch_size}");
+            assert_eq!(batched.perf.len(), batched.results.len());
+            assert!(batched.perf.iter().all(|p| p.cycles > 0));
+        }
+        // Batches fanned out over workers compose with thread isolation.
+        opts.threads = 2;
+        opts.batch_size = 3;
+        let both = conventional(&opts).unwrap();
+        assert_eq!(sequential.results, both.results);
     }
 
     #[test]

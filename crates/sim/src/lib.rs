@@ -19,9 +19,13 @@
 //!   instruction budget,
 //! * [`energy_model`] — turns run statistics into the stacked-bar energy
 //!   accounts of Figs. 4(b) and 5(b),
+//! * [`batch`] — the [`BatchRunner`]: one worker stepping N independent
+//!   simulations in lockstep along a per-batch horizon heap, bit-identical
+//!   per member to the solo path,
 //! * [`experiments`] — the declarative [`ExperimentPlan`] and the single
 //!   [`Study::run`] entry point (the per-study constructors are deprecated
-//!   shims over the built-in paper plans),
+//!   shims over the built-in paper plans); `ExperimentOptions::batch_size`
+//!   routes the matrix through the batched engine,
 //! * [`scenario`] — `lnuca-scenario/v1` JSON documents for plans, the
 //!   built-in scenario registry and the `lnuca-report/v1` emitter,
 //! * [`report`] — plain-text table formatting shared by the bench binaries.
@@ -48,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod configs;
 pub mod energy_model;
 pub mod experiments;
@@ -57,6 +62,7 @@ pub mod scenario;
 pub mod spec;
 pub mod system;
 
+pub use batch::{BatchJob, BatchRunner};
 pub use configs::HierarchyKind;
 pub use experiments::{ExperimentPlan, Study};
 pub use hierarchy::{ClassicHierarchy, HierarchyStats, LNucaHierarchy};

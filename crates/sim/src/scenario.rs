@@ -26,7 +26,8 @@
 //!   "description": "...",
 //!   "options": {
 //!     "instructions": 100000, "seed": 1, "benchmarks_per_suite": null,
-//!     "workloads": "paper", "threads": 0, "engine": "event"
+//!     "workloads": "paper", "threads": 0, "engine": "event",
+//!     "batch_size": 1
 //!   },
 //!   "configs": [
 //!     {"preset": "conventional"},
@@ -369,6 +370,10 @@ fn options_to_value(options: &ExperimentOptions) -> Value {
             "engine".to_owned(),
             Value::String(options.engine.label().to_owned()),
         ),
+        (
+            "batch_size".to_owned(),
+            Value::UInt(options.batch_size as u64),
+        ),
     ])
 }
 
@@ -416,6 +421,7 @@ fn options_from_value(path: &str, value: &Value) -> Result<ExperimentOptions, Sc
         };
     }
     override_usize(&mut fields, "threads", &mut options.threads)?;
+    override_usize(&mut fields, "batch_size", &mut options.batch_size)?;
     if let Some(v) = fields.optional("engine") {
         let path = fields.child_path("engine");
         let raw = expect_str(&path, v)?;

@@ -98,14 +98,15 @@ pub fn run_differential_spec(
     run_differential_impl(spec, profile, instructions, seed, engine).map(|(report, _)| report)
 }
 
-/// The probed run as the engine comparison needs it: the [`RunResult`] and
-/// the pre-quiescing prefix of the event stream.
-struct LiveRun {
-    result: lnuca_sim::system::RunResult,
-    live_events: Vec<ProbeEvent>,
+/// The probed run as the engine and batch comparisons need it: the
+/// [`lnuca_sim::system::RunResult`] and the pre-quiescing prefix of the
+/// event stream.
+pub(crate) struct LiveRun {
+    pub(crate) result: lnuca_sim::system::RunResult,
+    pub(crate) live_events: Vec<ProbeEvent>,
 }
 
-fn run_differential_impl(
+pub(crate) fn run_differential_impl(
     spec: &HierarchySpec,
     profile: &WorkloadProfile,
     instructions: u64,

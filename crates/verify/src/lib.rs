@@ -23,6 +23,11 @@
 //!   and asserts per-level hit/miss counts, final resident line sets and
 //!   writeback totals agree; `run_differential_both_engines` additionally
 //!   pins the two time-stepping engines to the identical event stream.
+//! * [`mod@batch`] — the batch-equivalence layer (DESIGN.md §13):
+//!   [`batch::SequentialBaseline`] verifies every case through the oracle
+//!   once, then [`batch::SequentialBaseline::check_batched`] pins a
+//!   `lnuca_sim::batch::BatchRunner` pass at any batch size to the
+//!   identical per-run results and probe streams.
 //!
 //! # What is an input and what is checked
 //!
@@ -58,11 +63,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod harness;
 pub mod hierarchy;
 pub mod recorder;
 pub mod reference;
 
+pub use batch::{BatchCase, BatchEquivalenceReport, SequentialBaseline};
 pub use harness::{run_differential, run_differential_both_engines, DifferentialError, DifferentialReport};
 pub use hierarchy::RefHierarchy;
 pub use recorder::RecordingProbe;

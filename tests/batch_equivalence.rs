@@ -1,0 +1,117 @@
+//! The batch-equivalence matrix (DESIGN.md §13): every hierarchy kind ×
+//! every shipped workload profile (the paper's 22 plus the 4 adversarial
+//! classes) × 3 seeds, run through `BatchRunner` at batch sizes
+//! {1, 3, 8, full} and pinned bit-identical — `RunResult` and probe event
+//! stream — to the sequential engine.
+//!
+//! The sequential side of each comparison is the full differential oracle
+//! (`lnuca_verify::batch::SequentialBaseline`), so a batched run is not
+//! merely "same as solo" but "same as a solo run the reference model
+//! signed off on". Each hierarchy kind is one test so the quadrants run in
+//! parallel; each kind's 78-case baseline is captured once and reused by
+//! all four batched passes. `LNUCA_VERIFY_INSTRUCTIONS` scales the per-run
+//! budget (default 700 here: the matrix is stepped five times over).
+
+use lnuca_sim::configs::{self, HierarchyKind};
+use lnuca_sim::system::Engine;
+use lnuca_verify::batch::{BatchCase, SequentialBaseline};
+use lnuca_workloads::suites;
+
+const SEEDS: [u64; 3] = [1, 2, 3];
+
+/// Batch sizes every kind is checked at; 0 is the full-width batch.
+const BATCH_SIZES: [usize; 4] = [1, 3, 8, 0];
+
+fn instructions() -> u64 {
+    std::env::var("LNUCA_VERIFY_INSTRUCTIONS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(700)
+}
+
+fn verify_kind(kind: &HierarchyKind) {
+    let spec = kind.to_spec();
+    let instructions = instructions();
+    let cases: Vec<BatchCase> = suites::extended()
+        .into_iter()
+        .flat_map(|profile| {
+            SEEDS.map(|seed| BatchCase {
+                spec: spec.clone(),
+                profile: profile.clone(),
+                instructions,
+                seed,
+            })
+        })
+        .collect();
+    let expected = cases.len();
+    assert_eq!(expected, 26 * SEEDS.len(), "the shipped profile set is the verify matrix");
+    let baseline = match SequentialBaseline::capture(Engine::EventHorizon, cases) {
+        Ok(baseline) => baseline,
+        Err(e) => panic!("{e}"),
+    };
+    for batch_size in BATCH_SIZES {
+        match baseline.check_batched(batch_size) {
+            Ok(report) => assert_eq!(
+                report.runs, expected,
+                "width {} compared every run",
+                report.batch_size
+            ),
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+#[test]
+fn conventional_batches_are_bit_identical() {
+    verify_kind(&HierarchyKind::Conventional(configs::conventional()));
+}
+
+#[test]
+fn lnuca_l3_batches_are_bit_identical() {
+    verify_kind(&HierarchyKind::LNucaL3(configs::lnuca_hierarchy(3)));
+}
+
+#[test]
+fn dnuca_batches_are_bit_identical() {
+    verify_kind(&HierarchyKind::DNuca(configs::dnuca_hierarchy()));
+}
+
+#[test]
+fn lnuca_dnuca_batches_are_bit_identical() {
+    verify_kind(&HierarchyKind::LNucaDNuca(configs::lnuca_dnuca_hierarchy(2)));
+}
+
+/// Mixed-kind batches under both engines: one batch holding all four paper
+/// shapes at different budgets must still reproduce each member's solo
+/// run, including under the cycle-step engine the matrix above skips.
+#[test]
+fn mixed_kind_batches_are_bit_identical_under_both_engines() {
+    let kinds = [
+        HierarchyKind::Conventional(configs::conventional()),
+        HierarchyKind::LNucaL3(configs::lnuca_hierarchy(2)),
+        HierarchyKind::DNuca(configs::dnuca_hierarchy()),
+        HierarchyKind::LNucaDNuca(configs::lnuca_dnuca_hierarchy(3)),
+    ];
+    let profiles = suites::extended();
+    for engine in [Engine::EventHorizon, Engine::CycleStep] {
+        let cases: Vec<BatchCase> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, kind)| BatchCase {
+                spec: kind.to_spec(),
+                profile: profiles[i * 5].clone(),
+                instructions: instructions() + 137 * i as u64,
+                seed: 4 + i as u64,
+            })
+            .collect();
+        let baseline = match SequentialBaseline::capture(engine, cases) {
+            Ok(baseline) => baseline,
+            Err(e) => panic!("{e}"),
+        };
+        for batch_size in [2, 0] {
+            if let Err(e) = baseline.check_batched(batch_size) {
+                panic!("{e}");
+            }
+        }
+    }
+}

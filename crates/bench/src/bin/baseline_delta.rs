@@ -1,8 +1,12 @@
 //! Prints a per-configuration `kcycles_per_sec` delta table between two
 //! `BENCH_baseline.json` files (committed trajectory point vs a freshly
-//! generated one). **Warn-only**: large drops are flagged on stderr, but the
-//! exit code is always 0 — CI runs on a noisy 1-core runner, so throughput
-//! is tracked, not gated.
+//! generated one). **Warn-only for throughput**: large drops are flagged on
+//! stderr, but they never fail the build — CI runs on a noisy 1-core
+//! runner, so throughput is tracked, not gated. A document with an
+//! *unknown schema version*, however, exits with code 2: comparing fields
+//! whose meaning may have changed would silently produce nonsense, so
+//! schema drift must be acknowledged here (add the version to
+//! `KNOWN_SCHEMAS`) rather than ignored.
 //!
 //! ```text
 //! baseline_delta <committed.json> <fresh.json>
@@ -23,6 +27,15 @@ use serde::json;
 /// Throughput (kcycles/s) drop in percent beyond which a configuration is
 /// flagged.
 const WARN_DROP_PCT: f64 = 30.0;
+
+/// Every `BENCH_baseline.json` schema version this reader understands.
+/// A document claiming any other version is a hard error (exit 2) — see
+/// the module docs.
+const KNOWN_SCHEMAS: &[&str] = &[
+    "lnuca-bench-baseline/v1",
+    "lnuca-bench-baseline/v2",
+    "lnuca-bench-baseline/v3",
+];
 
 /// One parsed baseline document: run-context metadata plus the
 /// per-configuration aggregates.
@@ -156,6 +169,27 @@ fn read_baseline(path: &str) -> Baseline {
             return empty;
         }
     };
+    // Unknown schema versions are the one hard failure: silently diffing
+    // fields whose meaning may have changed would produce a plausible but
+    // meaningless table.
+    match document.get("schema").and_then(json::Value::as_str) {
+        Some(schema) if KNOWN_SCHEMAS.contains(&schema) => {}
+        Some(schema) => {
+            eprintln!(
+                "::error::{path} declares unknown baseline schema {schema:?}; this reader \
+                 understands {}. Update baseline_delta (KNOWN_SCHEMAS) alongside the emitter.",
+                KNOWN_SCHEMAS.join(", ")
+            );
+            std::process::exit(2);
+        }
+        None => {
+            eprintln!(
+                "::error::{path} has no \"schema\" field; expected one of {}",
+                KNOWN_SCHEMAS.join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
     let engine = document
         .get("engine")
         .and_then(json::Value::as_str)

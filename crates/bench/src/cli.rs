@@ -108,6 +108,22 @@ pub fn resolved_plan(resolved: &ResolvedScenario) -> Result<ExperimentPlan, Stri
 ///
 /// Returns a printable message for configuration errors.
 pub fn run_plan(plan: &ExperimentPlan) -> Result<(Study, f64), String> {
+    run_plan_journaled(plan, None, false)
+}
+
+/// [`run_plan`] with an optional crash-safe journal: with `journal` set,
+/// completed runs are appended to that file as they finish and — with
+/// `resume` — a journal left by an interrupted invocation of the same plan
+/// is continued instead of restarted (`Study::run_journaled`).
+///
+/// # Errors
+///
+/// Returns a printable message for configuration and journal errors.
+pub fn run_plan_journaled(
+    plan: &ExperimentPlan,
+    journal: Option<&str>,
+    resume: bool,
+) -> Result<(Study, f64), String> {
     let batch = match plan.options.batch_size {
         0 | 1 => String::new(),
         usize::MAX => ", full-width batches".to_owned(),
@@ -121,7 +137,13 @@ pub fn run_plan(plan: &ExperimentPlan) -> Result<(Study, f64), String> {
         plan.options.threads,
     );
     let started = Instant::now();
-    let study = Study::run(plan).map_err(|e| e.to_string())?;
+    let study = match journal {
+        Some(path) => {
+            Study::run_journaled(plan, std::path::Path::new(path), resume)
+                .map_err(|e| e.to_string())?
+        }
+        None => Study::run(plan).map_err(|e| e.to_string())?,
+    };
     Ok((study, started.elapsed().as_secs_f64()))
 }
 
@@ -165,6 +187,25 @@ pub fn run_scenario_batched(
     report_path: Option<&str>,
     batch_size: Option<usize>,
 ) -> Result<(), String> {
+    run_scenario_supervised(arg, report_path, batch_size, None, false).map(|_| ())
+}
+
+/// The full `lnuca run` driver: [`run_scenario_batched`] plus the
+/// `--journal`/`--resume` flags. Returns how many runs of the study failed
+/// (the report is still printed and written — a supervised failure must
+/// not discard its siblings' results — but the caller should exit
+/// nonzero).
+///
+/// # Errors
+///
+/// Returns a printable message.
+pub fn run_scenario_supervised(
+    arg: &str,
+    report_path: Option<&str>,
+    batch_size: Option<usize>,
+    journal: Option<&str>,
+    resume: bool,
+) -> Result<usize, String> {
     let resolved = resolve_scenario(arg)?;
     let scenario = &resolved.scenario;
     if !scenario.description.is_empty() {
@@ -174,7 +215,7 @@ pub fn run_scenario_batched(
     if let Some(batch) = batch_size {
         plan.options.batch_size = batch.max(1);
     }
-    let (study, wall) = run_plan(&plan)?;
+    let (study, wall) = run_plan_journaled(&plan, journal, resume)?;
     let mut sections = vec![Section::IpcSummary, Section::EnergySummary];
     if study.results.iter().any(|r| r.hierarchy.lnuca.is_some()) {
         sections.push(Section::HitDistribution);
@@ -187,7 +228,18 @@ pub fn run_scenario_batched(
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("report written to {path} ({})", scenario::REPORT_SCHEMA);
     }
-    Ok(())
+    for failure in &study.failures {
+        eprintln!(
+            "failed: {}/{} (seed {}) [{}] after {} attempt(s): {}",
+            failure.label,
+            failure.workload,
+            failure.seed,
+            failure.error.status(),
+            failure.attempts,
+            failure.error,
+        );
+    }
+    Ok(study.failures.len())
 }
 
 /// Shared driver of the per-figure binaries: run a built-in scenario and
@@ -671,13 +723,23 @@ lnuca — declarative scenario runner for the Light NUCA reproduction
 USAGE:
     lnuca list                          list the built-in scenarios
     lnuca run <scenario>... [--report PATH] [--batch-size N|full]
+                            [--journal PATH [--resume]]
                                         run built-in scenario(s) or
                                         lnuca-scenario/v1 file(s); --report
                                         (one scenario only) also writes the
                                         lnuca-report/v1 JSON document;
                                         --batch-size steps N simulations in
                                         lockstep per worker (bit-identical
-                                        results, DESIGN.md §13)
+                                        results, DESIGN.md §13);
+                                        --journal (one scenario only)
+                                        appends completed runs to a
+                                        crash-safe lnuca-journal/v1 file and
+                                        --resume continues an interrupted
+                                        study from it, byte-identical to an
+                                        uninterrupted run (DESIGN.md §14);
+                                        failed runs are reported with a
+                                        structured status and make the exit
+                                        code nonzero
     lnuca validate <file>...            strictly parse scenario files
                                         (unknown fields fail)
     lnuca export <name>                 print a built-in scenario as its
@@ -716,6 +778,8 @@ pub fn cli_main(args: &[String]) -> i32 {
             let mut scenarios: Vec<&String> = Vec::new();
             let mut report: Option<&str> = None;
             let mut batch_size: Option<usize> = None;
+            let mut journal: Option<&str> = None;
+            let mut resume = false;
             let mut iter = rest.iter();
             while let Some(arg) = iter.next() {
                 if arg == "--report" {
@@ -736,6 +800,16 @@ pub fn cli_main(args: &[String]) -> i32 {
                             return 2;
                         }
                     }
+                } else if arg == "--journal" {
+                    match iter.next() {
+                        Some(path) => journal = Some(path),
+                        None => {
+                            eprintln!("error: --journal needs a path\n{USAGE}");
+                            return 2;
+                        }
+                    }
+                } else if arg == "--resume" {
+                    resume = true;
                 } else {
                     scenarios.push(arg);
                 }
@@ -748,11 +822,27 @@ pub fn cli_main(args: &[String]) -> i32 {
                 eprintln!("error: --report works with exactly one scenario");
                 return 2;
             }
+            if journal.is_some() && scenarios.len() > 1 {
+                eprintln!("error: --journal works with exactly one scenario");
+                return 2;
+            }
+            if resume && journal.is_none() {
+                eprintln!("error: --resume needs --journal\n{USAGE}");
+                return 2;
+            }
+            let mut failed_runs = 0;
             for arg in scenarios {
-                if let Err(e) = run_scenario_batched(arg, report, batch_size) {
-                    eprintln!("error: {e}");
-                    return 1;
+                match run_scenario_supervised(arg, report, batch_size, journal, resume) {
+                    Ok(failures) => failed_runs += failures,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return 1;
+                    }
                 }
+            }
+            if failed_runs > 0 {
+                eprintln!("error: {failed_runs} run(s) failed (see the failure lines above)");
+                return 1;
             }
             0
         }

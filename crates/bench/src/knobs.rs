@@ -19,7 +19,9 @@
 //! The variables (see the crate docs for the full prose): `LNUCA_QUICK`,
 //! `LNUCA_INSTRUCTIONS`, `LNUCA_BENCHMARKS_PER_SUITE`, `LNUCA_SEED`,
 //! `LNUCA_LEVELS`, `LNUCA_WORKLOADS`, `LNUCA_THREADS`, `LNUCA_ENGINE`,
-//! `LNUCA_BATCH`, `LNUCA_BENCH_JSON`.
+//! `LNUCA_BATCH`, `LNUCA_BENCH_JSON`, plus the run-supervision knobs
+//! (DESIGN.md §14): `LNUCA_CYCLE_BUDGET`, `LNUCA_RUN_TIMEOUT_MS`,
+//! `LNUCA_LIVELOCK_WINDOW` (all three: `0` = off) and `LNUCA_RETRIES`.
 
 use lnuca_sim::experiments::{ExperimentOptions, WorkloadSelection};
 use lnuca_sim::system::Engine;
@@ -191,6 +193,21 @@ pub fn apply_env(opts: &mut ExperimentOptions) {
             Some(batch) => opts.batch_size = batch,
             None => warn_malformed("LNUCA_BATCH", &raw, "a batch size >= 1, or \"full\""),
         }
+    }
+    // Supervision watchdogs (DESIGN.md §14): for the three budget knobs an
+    // explicit `0` disables the watchdog (the field's None), so a CI job
+    // can switch one off even when a scenario pins it.
+    if let Some(v) = env_u64("LNUCA_CYCLE_BUDGET") {
+        opts.cycle_budget = (v != 0).then_some(v);
+    }
+    if let Some(v) = env_u64("LNUCA_RUN_TIMEOUT_MS") {
+        opts.run_timeout_ms = (v != 0).then_some(v);
+    }
+    if let Some(v) = env_u64("LNUCA_LIVELOCK_WINDOW") {
+        opts.livelock_window = (v != 0).then_some(v);
+    }
+    if let Some(v) = env_u64("LNUCA_RETRIES") {
+        opts.retries = u32::try_from(v).unwrap_or(u32::MAX);
     }
     opts.threads = match env_u64("LNUCA_THREADS") {
         Some(v) => usize::try_from(v).unwrap_or(usize::MAX).max(1),

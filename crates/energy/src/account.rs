@@ -89,6 +89,21 @@ impl EnergyAccount {
         names
     }
 
+    /// Every `(component, picojoules)` entry in the dynamic bucket, in the
+    /// map's sorted order. Unlike [`EnergyAccount::components`] this exposes
+    /// exactly the entries the account holds — including explicit zeros —
+    /// so a serialised account can be reconstructed `PartialEq`-identical
+    /// (the study journal depends on this).
+    pub fn dynamic_entries(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.dynamic.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Every `(component, picojoules)` entry in the static bucket, in the
+    /// map's sorted order; see [`EnergyAccount::dynamic_entries`].
+    pub fn static_entries(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.static_.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
     /// This account's total divided by `baseline`'s total — the normalised
     /// quantity plotted in Figs. 4(b) and 5(b). Returns 1.0 when the baseline
     /// total is zero.
@@ -137,6 +152,28 @@ mod tests {
         candidate.add_dynamic("x", 150.0);
         assert!((candidate.normalised_to(&baseline) - 0.75).abs() < 1e-12);
         assert_eq!(candidate.normalised_to(&EnergyAccount::new()), 1.0);
+    }
+
+    #[test]
+    fn entry_iterators_expose_exact_bucket_contents() {
+        let mut a = EnergyAccount::new();
+        a.add_dynamic("tiles", 3.0);
+        a.add_dynamic("L2", 0.0); // explicit zero must survive a round-trip
+        a.add_static("L3", 7.5);
+        let dynamic: Vec<_> = a.dynamic_entries().collect();
+        assert_eq!(dynamic, vec![("L2", 0.0), ("tiles", 3.0)]);
+        let static_: Vec<_> = a.static_entries().collect();
+        assert_eq!(static_, vec![("L3", 7.5)]);
+
+        // Reconstructing from the entries is PartialEq-identical.
+        let mut copy = EnergyAccount::new();
+        for (k, v) in a.dynamic_entries() {
+            copy.add_dynamic(k, v);
+        }
+        for (k, v) in a.static_entries() {
+            copy.add_static(k, v);
+        }
+        assert_eq!(a, copy);
     }
 
     #[test]

@@ -50,10 +50,11 @@
 use crate::energy_model;
 use crate::hierarchy::AnyHierarchy;
 use crate::spec::HierarchySpec;
+use crate::supervise::{JobGuard, RunGuard};
 use crate::system::{Engine, RunResult, System};
 use lnuca_cpu::{CoreConfig, DataMemory, OooCore};
 use lnuca_mem::{NoProbe, ProbeSink, TagSlab};
-use lnuca_types::{ConfigError, Cycle};
+use lnuca_types::{ConfigError, Cycle, RunError};
 use lnuca_workloads::{Suite, TraceGenerator, WorkloadProfile};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -85,6 +86,12 @@ struct Member<P: ProbeSink> {
     cap: u64,
     now: Cycle,
     done: Option<RunResult>,
+    /// Watchdog of a supervised member (`None` on the plain path, which
+    /// then has zero per-tick observation overhead).
+    guard: Option<JobGuard>,
+    /// A tripped watchdog quarantines the member here; its stats are never
+    /// finalised and `done` stays empty.
+    failed: Option<RunError>,
 }
 
 /// Steps a batch of independent simulations in lockstep; see the
@@ -129,12 +136,32 @@ impl<P: ProbeSink> BatchRunner<P> {
     pub fn with_probes(
         engine: Engine,
         jobs: &[BatchJob<'_>],
+        probe: impl FnMut() -> P,
+    ) -> Result<Self, ConfigError> {
+        Self::with_supervision(engine, jobs, probe, |_| None)
+    }
+
+    /// [`BatchRunner::with_probes`] plus per-member supervision
+    /// (DESIGN.md §14): `guard` produces each member's watchdog (in job
+    /// order; `None` = unsupervised member). A member whose guard trips is
+    /// quarantined — it stops being stepped and reports its failure through
+    /// [`BatchRunner::run_outcomes`] — while its siblings keep stepping at
+    /// exactly the cycles their solo loops would visit, so survivors stay
+    /// bit-identical to their solo baselines.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any member's configuration is invalid.
+    pub fn with_supervision(
+        engine: Engine,
+        jobs: &[BatchJob<'_>],
         mut probe: impl FnMut() -> P,
+        mut guard: impl FnMut(usize) -> Option<JobGuard>,
     ) -> Result<Self, ConfigError> {
         let slab = TagSlab::new();
         let members = slab.scoped(|| -> Result<Vec<Member<P>>, ConfigError> {
             let mut members = Vec::with_capacity(jobs.len());
-            for job in jobs {
+            for (idx, job) in jobs.iter().enumerate() {
                 let hierarchy = System::build_spec_probed(job.spec, probe())?;
                 let trace = TraceGenerator::new(job.profile.clone(), job.seed)
                     .take(usize::try_from(job.instructions).unwrap_or(usize::MAX));
@@ -147,6 +174,8 @@ impl<P: ProbeSink> BatchRunner<P> {
                     cap: job.instructions.saturating_mul(400) + 1_000_000,
                     now: Cycle(0),
                     done: None,
+                    guard: guard(idx),
+                    failed: None,
                 });
             }
             Ok(members)
@@ -228,9 +257,16 @@ impl<P: ProbeSink> BatchRunner<P> {
         for i in 0..self.due_scratch.len() {
             let idx = self.due_scratch[i];
             match advance(&mut self.members[idx], self.engine) {
-                Some(next) => self.heap.push(Reverse((next.0, idx))),
-                None => {
+                Advance::Continue(next) => self.heap.push(Reverse((next.0, idx))),
+                Advance::Retired => {
                     retire(&mut self.members[idx]);
+                    self.live -= 1;
+                }
+                Advance::Failed(err) => {
+                    // Quarantine: the member keeps its failure, is never
+                    // finalised, and simply stops being scheduled — its
+                    // siblings' tick sequences are unaffected.
+                    self.members[idx].failed = Some(err);
                     self.live -= 1;
                 }
             }
@@ -239,30 +275,72 @@ impl<P: ProbeSink> BatchRunner<P> {
     }
 
     /// Runs the batch to completion and returns every member's result and
-    /// final hierarchy (probe still inside), in job order.
+    /// final hierarchy (probe still inside), in job order. Only for
+    /// unguarded batches — a supervised member's failure panics here; use
+    /// [`BatchRunner::run_outcomes`] for supervised batches.
     #[must_use]
-    pub fn run(mut self) -> Vec<(RunResult, AnyHierarchy<P>)> {
-        while self.step() {}
-        self.members
+    pub fn run(self) -> Vec<(RunResult, AnyHierarchy<P>)> {
+        self.run_outcomes()
             .into_iter()
-            .map(|m| (m.done.expect("stepping retired every member"), m.hierarchy))
+            .map(|(outcome, hierarchy)| {
+                (
+                    outcome.expect("unguarded batch members cannot fail"),
+                    hierarchy,
+                )
+            })
             .collect()
     }
 
-    /// Runs the batch to completion and returns the results in job order.
+    /// Runs the batch to completion and returns every member's outcome —
+    /// its bit-identical [`RunResult`] or the watchdog failure that
+    /// quarantined it — plus its final hierarchy, in job order.
+    #[must_use]
+    pub fn run_outcomes(mut self) -> Vec<(Result<RunResult, RunError>, AnyHierarchy<P>)> {
+        while self.step() {}
+        self.members
+            .into_iter()
+            .map(|m| {
+                let outcome = match m.failed {
+                    Some(err) => Err(err),
+                    None => Ok(m.done.expect("stepping retired every non-failed member")),
+                };
+                (outcome, m.hierarchy)
+            })
+            .collect()
+    }
+
+    /// Runs the batch to completion and returns the results in job order
+    /// (unguarded batches only; see [`BatchRunner::run`]).
     #[must_use]
     pub fn run_results(self) -> Vec<RunResult> {
         self.run().into_iter().map(|(result, _)| result).collect()
     }
 }
 
+/// What one [`advance`] call decided for a member.
+enum Advance {
+    /// Keep stepping; the member is next due at this cycle.
+    Continue(Cycle),
+    /// The solo loop would exit here: finalise and materialise the result.
+    Retired,
+    /// The member's watchdog tripped: quarantine it.
+    Failed(RunError),
+}
+
 /// One iteration of the member's solo run loop (same tick order, same
 /// engine formulas, same cap as [`System::run_spec_probed`]): ticks the
 /// member at `member.now`, stores its next clock value, and returns the
 /// next due cycle — or `None` when the solo loop would exit.
-fn advance<P: ProbeSink>(member: &mut Member<P>, engine: Engine) -> Option<Cycle> {
+fn advance<P: ProbeSink>(member: &mut Member<P>, engine: Engine) -> Advance {
     let now = member.now;
     let cap = member.cap;
+    if let Some(guard) = member.guard.as_mut() {
+        // Same observation point as the solo guarded loop, so a watchdog
+        // trips at the same cycle batched as solo.
+        if let Err(err) = guard.observe(now, member.core.committed()) {
+            return Advance::Failed(err);
+        }
+    }
     member.hierarchy.tick(now);
     member.core.tick(now, &mut member.hierarchy);
     let next = match engine {
@@ -276,15 +354,24 @@ fn advance<P: ProbeSink>(member: &mut Member<P>, engine: Engine) -> Option<Cycle
                     (Some(h), Some(c)) => Some(h.min(c)),
                     (h, c) => h.or(c),
                 };
-                horizon
+                let next = horizon
                     .unwrap_or(Cycle(cap))
                     .max(now.next())
-                    .min(Cycle(cap).max(now.next()))
+                    .min(Cycle(cap).max(now.next()));
+                match member.guard.as_ref().and_then(JobGuard::horizon_clamp) {
+                    // Mirror the solo guarded loop's clamp exactly.
+                    Some(clamp) => next.min(Cycle(clamp.max(now.0 + 1))),
+                    None => next,
+                }
             }
         }
     };
     member.now = next;
-    (!member.core.is_finished() && next.0 < cap).then_some(next)
+    if !member.core.is_finished() && next.0 < cap {
+        Advance::Continue(next)
+    } else {
+        Advance::Retired
+    }
 }
 
 /// Finalises a member exactly as the solo run tail does and materialises

@@ -14,16 +14,18 @@
 
 use crate::configs::{self, HierarchyKind};
 use crate::energy_model;
+use crate::journal::{self, JournalWriter};
 use crate::spec::HierarchySpec;
-use crate::system::{Engine, RunResult, System};
+use crate::supervise::{self, Supervisor};
+use crate::system::{Engine, RunResult};
 use lnuca_energy::{AreaModel, PAPER_TABLE2};
 use lnuca_types::stats::harmonic_mean;
-use lnuca_types::ConfigError;
+use lnuca_types::{ConfigError, RunError};
 use lnuca_workloads::{suites, Suite, WorkloadProfile};
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 
 /// Which workload profiles an experiment matrix runs over.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -106,6 +108,23 @@ pub struct ExperimentOptions {
     /// the wall clock — every batched run is bit-identical to its solo
     /// counterpart (`tests/batch_equivalence.rs`).
     pub batch_size: usize,
+    /// Watchdog: abort any run whose simulated clock reaches this many
+    /// cycles with the workload unfinished (`None` = no budget; the
+    /// `LNUCA_CYCLE_BUDGET` knob). Deterministic — a tripped run trips at
+    /// the same cycle on every attempt and engine, so it is never retried.
+    pub cycle_budget: Option<u64>,
+    /// Watchdog: abort any run whose wall clock exceeds this many
+    /// milliseconds (`None` = no timeout; the `LNUCA_RUN_TIMEOUT_MS`
+    /// knob). Host-dependent, hence treated as transient and retried.
+    pub run_timeout_ms: Option<u64>,
+    /// Watchdog: abort any run in which no instruction commits for this
+    /// many consecutive cycles (`None` = no livelock detection; the
+    /// `LNUCA_LIVELOCK_WINDOW` knob). Deterministic per engine.
+    pub livelock_window: Option<u64>,
+    /// Extra attempts granted to transiently-failed runs (panics and
+    /// wall-clock timeouts); deterministic watchdog trips never retry.
+    /// The `LNUCA_RETRIES` knob.
+    pub retries: u32,
 }
 
 impl Default for ExperimentOptions {
@@ -119,6 +138,10 @@ impl Default for ExperimentOptions {
             threads: 1,
             engine: Engine::EventHorizon,
             batch_size: 1,
+            cycle_budget: None,
+            run_timeout_ms: None,
+            livelock_window: None,
+            retries: 1,
         }
     }
 }
@@ -129,13 +152,9 @@ impl ExperimentOptions {
     pub fn quick() -> Self {
         ExperimentOptions {
             instructions: 5_000,
-            seed: 1,
             benchmarks_per_suite: Some(2),
-            workloads: WorkloadSelection::Paper,
             lnuca_levels: vec![2, 3],
-            threads: 1,
-            engine: Engine::EventHorizon,
-            batch_size: 1,
+            ..ExperimentOptions::default()
         }
     }
 
@@ -147,7 +166,7 @@ impl ExperimentOptions {
         }
     }
 
-    fn workloads(&self) -> Result<Vec<WorkloadProfile>, ConfigError> {
+    pub(crate) fn workloads(&self) -> Result<Vec<WorkloadProfile>, ConfigError> {
         let take = |v: Vec<WorkloadProfile>| -> Vec<WorkloadProfile> {
             match self.benchmarks_per_suite {
                 Some(n) => v.into_iter().take(n).collect(),
@@ -245,6 +264,36 @@ impl ExperimentOptionsBuilder {
     #[must_use]
     pub fn batch_size(mut self, batch_size: usize) -> Self {
         self.options.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Sets the cycle-budget watchdog (`None` = no budget).
+    #[must_use]
+    pub fn cycle_budget(mut self, budget: Option<u64>) -> Self {
+        self.options.cycle_budget = budget;
+        self
+    }
+
+    /// Sets the wall-clock timeout watchdog in milliseconds (`None` = no
+    /// timeout).
+    #[must_use]
+    pub fn run_timeout_ms(mut self, timeout_ms: Option<u64>) -> Self {
+        self.options.run_timeout_ms = timeout_ms;
+        self
+    }
+
+    /// Sets the no-commit livelock window in cycles (`None` = no livelock
+    /// detection).
+    #[must_use]
+    pub fn livelock_window(mut self, window: Option<u64>) -> Self {
+        self.options.livelock_window = window;
+        self
+    }
+
+    /// Sets how many extra attempts a transiently-failed run gets.
+    #[must_use]
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.options.retries = retries;
         self
     }
 
@@ -436,12 +485,36 @@ pub struct Study {
     pub baseline: String,
     /// Configuration labels in evaluation order (baseline first).
     pub configs: Vec<String>,
-    /// One result per (configuration, benchmark).
+    /// One result per (configuration, benchmark) that completed.
     pub results: Vec<RunResult>,
     /// Wall-clock measurement of each run, index-aligned with `results`.
     /// Unlike `results` this is host-dependent (machine, load, thread
     /// count); determinism comparisons must ignore it.
     pub perf: Vec<RunPerf>,
+    /// Runs that could not produce a result (panicked, tripped a watchdog,
+    /// exhausted their retries), in matrix order. The summaries aggregate
+    /// over `results` only; a non-empty `failures` makes the `lnuca` CLI
+    /// exit nonzero after still writing the report.
+    pub failures: Vec<FailedRun>,
+}
+
+/// One cell of the experiment matrix that failed to produce a result, with
+/// the structured reason and the attempts spent (DESIGN.md §14).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailedRun {
+    /// Configuration label of the failed run.
+    pub label: String,
+    /// Workload name of the failed run.
+    pub workload: String,
+    /// Suite the workload belongs to.
+    pub suite: Suite,
+    /// Trace seed of the failed run.
+    pub seed: u64,
+    /// Why the run failed (final error after retries).
+    pub error: RunError,
+    /// Total attempts spent (1 = failed on the first try and the failure
+    /// was not retryable).
+    pub attempts: u32,
 }
 
 /// Wall-clock cost of simulating one (configuration, benchmark) pair,
@@ -577,6 +650,10 @@ impl Study {
     /// workload, fanned out over `plan.options.threads` workers, outcomes
     /// collected in job order (bit-identical to a sequential run).
     ///
+    /// Every job runs supervised (DESIGN.md §14): a panic, watchdog trip or
+    /// retry exhaustion lands in [`Study::failures`] instead of unwinding or
+    /// aborting the study.
+    ///
     /// This is the one experiment entry point; the deprecated
     /// [`Study::conventional`] / [`Study::dnuca`] constructors are thin
     /// shims over the built-in paper plans.
@@ -584,8 +661,55 @@ impl Study {
     /// # Errors
     ///
     /// Returns a [`ConfigError`] if the plan is empty, a configuration is
-    /// invalid, or a named workload does not exist.
+    /// invalid, or a named workload does not exist. Per-run failures do
+    /// **not** error — they are collected in [`Study::failures`].
     pub fn run(plan: &ExperimentPlan) -> Result<Self, ConfigError> {
+        Self::run_inner(plan, None, Vec::new())
+    }
+
+    /// Runs a plan with a crash-safe journal at `path`: every completed run
+    /// is appended to the journal as it finishes, and with `resume = true` a
+    /// journal left behind by an interrupted invocation of the *same* plan
+    /// is replayed — already-journaled runs are not re-simulated, and the
+    /// finished study is byte-identical (runs are deterministic) to one
+    /// produced in a single uninterrupted invocation.
+    ///
+    /// The journal is content-addressed by a digest over the plan's
+    /// semantic fields (configurations, workloads, instructions, seed —
+    /// not threads/engine/batch size, which cannot change results); resuming
+    /// against a journal written for a different plan is a
+    /// [`RunError::JournalCorrupt`].
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Config`] on an invalid plan, [`RunError::JournalCorrupt`]
+    /// on a journal that does not match the plan or cannot be read/written.
+    pub fn run_journaled(
+        plan: &ExperimentPlan,
+        path: &Path,
+        resume: bool,
+    ) -> Result<Self, RunError> {
+        let total = journal::job_count(plan)?;
+        let (writer, preloaded) = if resume && path.exists() {
+            let preloaded = journal::read_journal(path, plan, total)?;
+            (JournalWriter::append(path)?, preloaded)
+        } else {
+            (JournalWriter::create(path, plan, total)?, Vec::new())
+        };
+        let study = Self::run_inner(plan, Some(&writer), preloaded)?;
+        writer.finish()?;
+        Ok(study)
+    }
+
+    /// The shared engine behind [`Study::run`] and [`Study::run_journaled`]:
+    /// builds the job matrix, skips jobs already present in `preloaded`
+    /// (index-aligned with the matrix), runs the rest supervised and merges
+    /// everything back in matrix order.
+    fn run_inner(
+        plan: &ExperimentPlan,
+        journal: Option<&JournalWriter>,
+        mut preloaded: Vec<Option<(RunResult, RunPerf)>>,
+    ) -> Result<Self, ConfigError> {
         let opts = &plan.options;
         let workloads = opts.workloads()?;
         if plan.configs.is_empty() {
@@ -596,34 +720,68 @@ impl Study {
         }
         let configs: Vec<String> = plan.configs.iter().map(HierarchySpec::label).collect();
         let baseline = configs[0].clone();
+        let supervisor = Supervisor::from_options(opts);
         let mut jobs = Vec::with_capacity(plan.configs.len() * workloads.len());
         for spec in &plan.configs {
             for (i, profile) in workloads.iter().enumerate() {
                 jobs.push(Job {
+                    index: jobs.len(),
                     spec,
                     profile,
                     seed: opts.seed.wrapping_add(i as u64),
                 });
             }
         }
-        let mut results = Vec::with_capacity(jobs.len());
-        let mut perf = Vec::with_capacity(jobs.len());
-        for outcome in run_jobs(
-            &jobs,
+        let pending: Vec<Job<'_>> = jobs
+            .iter()
+            .filter(|job| !matches!(preloaded.get(job.index), Some(Some(_))))
+            .copied()
+            .collect();
+        let outcomes = run_jobs(
+            &pending,
             opts.instructions,
             opts.threads,
             opts.engine,
             opts.batch_size,
-        ) {
-            let (result, run_perf) = outcome?;
-            results.push(result);
-            perf.push(run_perf);
+            &supervisor,
+            journal,
+        );
+        let mut ran = pending.iter().zip(outcomes);
+        let mut results = Vec::with_capacity(jobs.len());
+        let mut perf = Vec::with_capacity(jobs.len());
+        let mut failures = Vec::new();
+        for job in &jobs {
+            if let Some(slot @ Some(_)) = preloaded.get_mut(job.index) {
+                let (result, run_perf) = slot.take().expect("checked Some above");
+                results.push(result);
+                perf.push(run_perf);
+                continue;
+            }
+            let (ran_job, supervised) = ran
+                .next()
+                .expect("run_jobs returns one outcome per pending job");
+            debug_assert_eq!(ran_job.index, job.index);
+            match supervised.outcome {
+                Ok((result, run_perf)) => {
+                    results.push(result);
+                    perf.push(run_perf);
+                }
+                Err(error) => failures.push(FailedRun {
+                    label: job.spec.label(),
+                    workload: job.profile.name.clone(),
+                    suite: job.profile.suite,
+                    seed: job.seed,
+                    error,
+                    attempts: supervised.attempts,
+                }),
+            }
         }
         Ok(Study {
             baseline,
             configs,
             results,
             perf,
+            failures,
         })
     }
 
@@ -762,46 +920,51 @@ impl Study {
     }
 }
 
-/// One (configuration, benchmark) cell of the experiment matrix.
+/// One (configuration, benchmark) cell of the experiment matrix. `index` is
+/// the cell's position in the full matrix — the key the study journal
+/// records completed runs under.
+#[derive(Clone, Copy)]
 struct Job<'a> {
+    index: usize,
     spec: &'a HierarchySpec,
     profile: &'a WorkloadProfile,
     seed: u64,
 }
 
-type JobOutcome = Result<(RunResult, RunPerf), ConfigError>;
+use crate::supervise::SupervisedOutcome as JobOutcome;
 
-fn run_job(job: &Job<'_>, instructions: u64, engine: Engine) -> JobOutcome {
-    let started = Instant::now();
-    let result = System::run_spec_with(engine, job.spec, job.profile, instructions, job.seed)?;
-    let wall = started.elapsed();
-    let wall_nanos = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
-    let seconds = wall.as_secs_f64();
-    let kcycles_per_sec = if seconds > 0.0 {
-        result.cycles as f64 / 1_000.0 / seconds
-    } else {
-        0.0
-    };
-    let perf = RunPerf {
-        label: result.label.clone(),
-        workload: result.workload.clone(),
-        wall_nanos,
-        cycles: result.cycles,
-        kcycles_per_sec,
-    };
-    Ok((result, perf))
+/// Runs one job supervised and journals it if it succeeded.
+fn run_job(
+    job: &Job<'_>,
+    instructions: u64,
+    engine: Engine,
+    supervisor: &Supervisor,
+    journal: Option<&JournalWriter>,
+) -> JobOutcome {
+    let outcome = supervise::run_job_supervised(
+        engine,
+        job.spec,
+        job.profile,
+        instructions,
+        job.seed,
+        supervisor,
+    );
+    if let (Some(writer), Ok((result, perf))) = (journal, &outcome.outcome) {
+        writer.record(job.index, result, perf);
+    }
+    outcome
 }
 
-/// Runs one contiguous batch of the matrix through a
+/// Runs one contiguous batch of the matrix through a supervised
 /// [`crate::batch::BatchRunner`], returning per-job outcomes in batch
-/// order.
-///
-/// Per-run wall clock is unmeasurable inside a lockstep batch, so the
-/// batch's wall time is attributed to its members in proportion to their
-/// simulated cycles (every member's `kcycles_per_sec` is then the batch's
-/// aggregate throughput). [`RunPerf`] is host-dependent by contract;
-/// results stay bit-identical to solo runs.
-fn run_batch(batch: &[Job<'_>], instructions: u64, engine: Engine) -> Vec<JobOutcome> {
+/// order and journaling the successes.
+fn run_batch(
+    batch: &[Job<'_>],
+    instructions: u64,
+    engine: Engine,
+    supervisor: &Supervisor,
+    journal: Option<&JournalWriter>,
+) -> Vec<JobOutcome> {
     let batch_jobs: Vec<crate::batch::BatchJob<'_>> = batch
         .iter()
         .map(|job| crate::batch::BatchJob {
@@ -811,37 +974,15 @@ fn run_batch(batch: &[Job<'_>], instructions: u64, engine: Engine) -> Vec<JobOut
             seed: job.seed,
         })
         .collect();
-    let started = Instant::now();
-    let runner = match crate::batch::BatchRunner::new(engine, &batch_jobs) {
-        Ok(runner) => runner,
-        Err(e) => return batch.iter().map(|_| Err(e.clone())).collect(),
-    };
-    let results = runner.run_results();
-    let wall = started.elapsed();
-    let total_cycles: u64 = results.iter().map(|r| r.cycles).sum();
-    results
-        .into_iter()
-        .map(|result| {
-            let share = if total_cycles == 0 {
-                1.0 / batch.len().max(1) as f64
-            } else {
-                result.cycles as f64 / total_cycles as f64
-            };
-            let seconds = wall.as_secs_f64() * share;
-            let perf = RunPerf {
-                label: result.label.clone(),
-                workload: result.workload.clone(),
-                wall_nanos: (wall.as_nanos() as f64 * share) as u64,
-                cycles: result.cycles,
-                kcycles_per_sec: if seconds > 0.0 {
-                    result.cycles as f64 / 1_000.0 / seconds
-                } else {
-                    0.0
-                },
-            };
-            Ok((result, perf))
-        })
-        .collect()
+    let outcomes = supervise::run_batch_supervised(engine, &batch_jobs, supervisor);
+    if let Some(writer) = journal {
+        for (job, outcome) in batch.iter().zip(&outcomes) {
+            if let Ok((result, perf)) = &outcome.outcome {
+                writer.record(job.index, result, perf);
+            }
+        }
+    }
+    outcomes
 }
 
 /// Runs the experiment matrix on up to `threads` scoped workers pulling
@@ -861,6 +1002,8 @@ fn run_jobs(
     threads: usize,
     engine: Engine,
     batch_size: usize,
+    supervisor: &Supervisor,
+    journal: Option<&JournalWriter>,
 ) -> Vec<JobOutcome> {
     if batch_size > 1 {
         let batches: Vec<&[Job<'_>]> = jobs.chunks(batch_size).collect();
@@ -868,7 +1011,7 @@ fn run_jobs(
         if threads == 1 {
             return batches
                 .iter()
-                .flat_map(|batch| run_batch(batch, instructions, engine))
+                .flat_map(|batch| run_batch(batch, instructions, engine, supervisor, journal))
                 .collect();
         }
         let next_batch = AtomicUsize::new(0);
@@ -879,7 +1022,7 @@ fn run_jobs(
                 scope.spawn(|| loop {
                     let i = next_batch.fetch_add(1, Ordering::Relaxed);
                     let Some(batch) = batches.get(i) else { break };
-                    let outcomes = run_batch(batch, instructions, engine);
+                    let outcomes = run_batch(batch, instructions, engine, supervisor, journal);
                     *slots[i].lock().expect("no other holder can panic") = Some(outcomes);
                 });
             }
@@ -898,7 +1041,7 @@ fn run_jobs(
     if threads == 1 {
         return jobs
             .iter()
-            .map(|job| run_job(job, instructions, engine))
+            .map(|job| run_job(job, instructions, engine, supervisor, journal))
             .collect();
     }
 
@@ -909,7 +1052,7 @@ fn run_jobs(
             scope.spawn(|| loop {
                 let i = next_job.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(i) else { break };
-                let outcome = run_job(job, instructions, engine);
+                let outcome = run_job(job, instructions, engine, supervisor, journal);
                 *slots[i].lock().expect("no other holder can panic") = Some(outcome);
             });
         }

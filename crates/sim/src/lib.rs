@@ -26,6 +26,11 @@
 //!   [`Study::run`] entry point (the per-study constructors are deprecated
 //!   shims over the built-in paper plans); `ExperimentOptions::batch_size`
 //!   routes the matrix through the batched engine,
+//! * [`supervise`] — run supervision (DESIGN.md §14): panic isolation per
+//!   job and batch member, cycle/livelock/wall-clock watchdogs, bounded
+//!   retry and the deterministic fault-injection seam,
+//! * [`journal`] — the crash-safe, content-addressed study journal behind
+//!   `lnuca run --journal`/`--resume`,
 //! * [`scenario`] — `lnuca-scenario/v1` JSON documents for plans, the
 //!   built-in scenario registry and the `lnuca-report/v1` emitter,
 //! * [`report`] — plain-text table formatting shared by the bench binaries.
@@ -57,14 +62,17 @@ pub mod configs;
 pub mod energy_model;
 pub mod experiments;
 pub mod hierarchy;
+pub mod journal;
 pub mod report;
 pub mod scenario;
 pub mod spec;
+pub mod supervise;
 pub mod system;
 
 pub use batch::{BatchJob, BatchRunner};
 pub use configs::HierarchyKind;
-pub use experiments::{ExperimentPlan, Study};
+pub use experiments::{ExperimentPlan, FailedRun, Study};
 pub use hierarchy::{ClassicHierarchy, HierarchyStats, LNucaHierarchy};
 pub use spec::{BackingSpec, HierarchySpec, IntermediateSpec};
+pub use supervise::{Budgets, Supervisor};
 pub use system::{Engine, RunResult, System};

@@ -374,6 +374,19 @@ fn options_to_value(options: &ExperimentOptions) -> Value {
             "batch_size".to_owned(),
             Value::UInt(options.batch_size as u64),
         ),
+        (
+            "cycle_budget".to_owned(),
+            options.cycle_budget.map_or(Value::Null, Value::UInt),
+        ),
+        (
+            "run_timeout_ms".to_owned(),
+            options.run_timeout_ms.map_or(Value::Null, Value::UInt),
+        ),
+        (
+            "livelock_window".to_owned(),
+            options.livelock_window.map_or(Value::Null, Value::UInt),
+        ),
+        ("retries".to_owned(), Value::UInt(u64::from(options.retries))),
     ])
 }
 
@@ -422,6 +435,22 @@ fn options_from_value(path: &str, value: &Value) -> Result<ExperimentOptions, Sc
     }
     override_usize(&mut fields, "threads", &mut options.threads)?;
     override_usize(&mut fields, "batch_size", &mut options.batch_size)?;
+    // Watchdog knobs (DESIGN.md §14): null and absent both mean "off",
+    // matching the field defaults.
+    if let Some(v) = fields.optional("cycle_budget") {
+        options.cycle_budget = Some(expect_u64(&fields.child_path("cycle_budget"), v)?);
+    }
+    if let Some(v) = fields.optional("run_timeout_ms") {
+        options.run_timeout_ms = Some(expect_u64(&fields.child_path("run_timeout_ms"), v)?);
+    }
+    if let Some(v) = fields.optional("livelock_window") {
+        options.livelock_window = Some(expect_u64(&fields.child_path("livelock_window"), v)?);
+    }
+    if let Some(v) = fields.optional("retries") {
+        let path = fields.child_path("retries");
+        options.retries = u32::try_from(expect_u64(&path, v)?)
+            .map_err(|_| ScenarioError::schema(&path, "value does not fit in u32"))?;
+    }
     if let Some(v) = fields.optional("engine") {
         let path = fields.child_path("engine");
         let raw = expect_str(&path, v)?;
@@ -1170,7 +1199,7 @@ type ExperimentPlanBuilderResult = Result<ExperimentPlan, ConfigError>;
 /// derived summaries the text tables print.
 #[must_use]
 pub fn report_value(plan: &ExperimentPlan, study: &Study) -> Value {
-    let results = study
+    let mut results: Vec<Value> = study
         .results
         .iter()
         .map(|r| {
@@ -1181,6 +1210,7 @@ pub fn report_value(plan: &ExperimentPlan, study: &Study) -> Value {
                     "suite".to_owned(),
                     Value::String(r.suite.label().trim_end_matches('.').to_owned()),
                 ),
+                ("status".to_owned(), Value::String("ok".to_owned())),
                 ("instructions".to_owned(), Value::UInt(r.instructions)),
                 ("cycles".to_owned(), Value::UInt(r.cycles)),
                 ("ipc".to_owned(), Value::Float(r.ipc)),
@@ -1190,6 +1220,22 @@ pub fn report_value(plan: &ExperimentPlan, study: &Study) -> Value {
             ])
         })
         .collect();
+    // Failed runs appear in the same array with their structured status
+    // (DESIGN.md §14), so a report always accounts for the whole matrix.
+    results.extend(study.failures.iter().map(|f| {
+        Value::Object(vec![
+            ("label".to_owned(), Value::String(f.label.clone())),
+            ("workload".to_owned(), Value::String(f.workload.clone())),
+            (
+                "suite".to_owned(),
+                Value::String(f.suite.label().trim_end_matches('.').to_owned()),
+            ),
+            ("status".to_owned(), Value::String(f.error.status().to_owned())),
+            ("seed".to_owned(), Value::UInt(f.seed)),
+            ("error".to_owned(), Value::String(f.error.to_string())),
+            ("attempts".to_owned(), Value::UInt(u64::from(f.attempts))),
+        ])
+    }));
     let ipc = study
         .ipc_summary()
         .into_iter()
@@ -1299,7 +1345,25 @@ pub fn validate_report(value: &Value) -> Result<(), String> {
         let row = result
             .as_object()
             .ok_or_else(|| format!("results[{i}] must be an object"))?;
-        for key in ["label", "workload", "suite", "instructions", "cycles", "ipc"] {
+        let status = result
+            .get("status")
+            .ok_or_else(|| format!("results[{i}] misses \"status\""))?
+            .as_str()
+            .ok_or_else(|| format!("results[{i}] \"status\" must be a string"))?;
+        if !lnuca_types::RunError::is_known_status(status) {
+            return Err(format!(
+                "results[{i}] carries unknown status {status:?} (known: {})",
+                lnuca_types::RUN_STATUSES.join(", ")
+            ));
+        }
+        // Completed rows carry the full measurement; failed rows carry the
+        // structured failure instead.
+        let required: &[&str] = if status == "ok" {
+            &["label", "workload", "suite", "instructions", "cycles", "ipc"]
+        } else {
+            &["label", "workload", "suite", "seed", "error", "attempts"]
+        };
+        for key in required {
             if !row.iter().any(|(k, _)| k == key) {
                 return Err(format!("results[{i}] misses {key:?}"));
             }

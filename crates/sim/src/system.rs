@@ -4,10 +4,11 @@ use crate::configs::HierarchyKind;
 use crate::energy_model;
 use crate::hierarchy::{AnyHierarchy, ClassicHierarchy, HierarchyStats, LNucaHierarchy};
 use crate::spec::HierarchySpec;
+use crate::supervise::{NoGuard, RunGuard};
 use lnuca_cpu::{CoreConfig, CoreStats, DataMemory, OooCore};
 use lnuca_energy::EnergyAccount;
 use lnuca_mem::{NoProbe, ProbeSink};
-use lnuca_types::{ConfigError, Cycle};
+use lnuca_types::{ConfigError, Cycle, RunError};
 use lnuca_workloads::{Suite, TraceGenerator, WorkloadProfile};
 use serde::{Deserialize, Serialize};
 
@@ -255,6 +256,36 @@ impl System {
         seed: u64,
         probe: P,
     ) -> Result<(RunResult, AnyHierarchy<P>), ConfigError> {
+        match Self::run_spec_guarded(engine, spec, profile, instructions, seed, probe, &mut NoGuard)
+        {
+            Ok(pair) => Ok(pair),
+            Err(RunError::Config(err)) => Err(err),
+            Err(other) => unreachable!("NoGuard cannot trip a watchdog: {other}"),
+        }
+    }
+
+    /// [`System::run_spec_probed`] with a [`RunGuard`] observing every loop
+    /// iteration (DESIGN.md §14): the supervision layer's watchdogs hook in
+    /// here. The guard is generic, so the [`NoGuard`] path compiles to the
+    /// exact unguarded loop; with an active guard the event-horizon jump is
+    /// additionally clamped to [`RunGuard::horizon_clamp`] — extra ticks at
+    /// non-event cycles are state-wise no-ops (the cycle-step engine visits
+    /// every cycle and is bit-identical), so results never change; the
+    /// clamp only makes watchdog trip cycles deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Config`] if the composition is invalid, or
+    /// whatever failure the guard trips with.
+    pub fn run_spec_guarded<P: ProbeSink, G: RunGuard>(
+        engine: Engine,
+        spec: &HierarchySpec,
+        profile: &WorkloadProfile,
+        instructions: u64,
+        seed: u64,
+        probe: P,
+        guard: &mut G,
+    ) -> Result<(RunResult, AnyHierarchy<P>), RunError> {
         let mut hierarchy = Self::build_spec_probed(spec, probe)?;
         let trace =
             TraceGenerator::new(profile.clone(), seed).take(usize::try_from(instructions).unwrap_or(usize::MAX));
@@ -266,6 +297,7 @@ impl System {
         // as an implausible IPC in the results.
         let cycle_cap = instructions.saturating_mul(400) + 1_000_000;
         while !core.is_finished() && now.0 < cycle_cap {
+            guard.observe(now, core.committed())?;
             hierarchy.tick(now);
             core.tick(now, &mut hierarchy);
             now = match engine {
@@ -283,10 +315,16 @@ impl System {
                             (Some(h), Some(c)) => Some(h.min(c)),
                             (h, c) => h.or(c),
                         };
-                        horizon
+                        let next = horizon
                             .unwrap_or(Cycle(cycle_cap))
                             .max(now.next())
-                            .min(Cycle(cycle_cap).max(now.next()))
+                            .min(Cycle(cycle_cap).max(now.next()));
+                        match guard.horizon_clamp() {
+                            // Never jump past the next cycle the guard must
+                            // observe, while always making progress.
+                            Some(clamp) => next.min(Cycle(clamp.max(now.0 + 1))),
+                            None => next,
+                        }
                     }
                 }
             };

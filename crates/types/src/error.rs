@@ -116,6 +116,147 @@ impl fmt::Display for UnknownNameError {
 
 impl Error for UnknownNameError {}
 
+/// A supervised run failed.
+///
+/// The experiment engine (DESIGN.md §14) isolates every job and batch member
+/// behind a supervisor; when a run cannot produce a result, the failure is
+/// reported through this taxonomy instead of aborting the study. Each variant
+/// maps to a stable machine-readable status string (see
+/// [`RunError::status`]) that surfaces in the `lnuca-report/v1` per-run
+/// `status` field.
+///
+/// # Example
+///
+/// ```
+/// use lnuca_types::RunError;
+///
+/// let err = RunError::CycleBudgetExceeded { budget: 1_000, at_cycle: 1_000 };
+/// assert_eq!(err.status(), "cycle-budget");
+/// assert!(!err.is_transient(), "budget trips are deterministic, never retried");
+/// assert!(RunError::is_known_status("livelock"));
+/// assert!(!RunError::is_known_status("exploded"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The run panicked; `message` is the stringified panic payload.
+    Panic {
+        /// Stringified panic payload (or a placeholder for opaque payloads).
+        message: String,
+    },
+    /// The simulated clock reached the configured cycle budget with the
+    /// workload still unfinished.
+    CycleBudgetExceeded {
+        /// The configured budget in cycles.
+        budget: u64,
+        /// The cycle at which the watchdog tripped.
+        at_cycle: u64,
+    },
+    /// No instruction committed for a whole livelock window.
+    Livelock {
+        /// The configured no-progress window in cycles.
+        window: u64,
+        /// The cycle at which the watchdog tripped.
+        at_cycle: u64,
+        /// Instructions committed when progress stopped.
+        committed: u64,
+    },
+    /// The run's wall-clock exceeded the configured timeout.
+    WallClockTimeout {
+        /// The configured timeout in milliseconds.
+        timeout_ms: u64,
+    },
+    /// A study journal could not be trusted: unreadable, a foreign schema,
+    /// or content-addressing digests that do not match the plan being run.
+    JournalCorrupt {
+        /// What exactly failed to validate.
+        detail: String,
+    },
+    /// The job's configuration was rejected while building the system.
+    Config(ConfigError),
+}
+
+/// Every status string a `lnuca-report/v1` per-run `status` field may carry:
+/// `"ok"` plus one string per [`RunError`] variant.
+pub const RUN_STATUSES: &[&str] = &[
+    "ok",
+    "panic",
+    "cycle-budget",
+    "livelock",
+    "timeout",
+    "journal-corrupt",
+    "config",
+];
+
+impl RunError {
+    /// The stable machine-readable status string for this failure, as
+    /// written to the report's per-run `status` field.
+    #[must_use]
+    pub fn status(&self) -> &'static str {
+        match self {
+            RunError::Panic { .. } => "panic",
+            RunError::CycleBudgetExceeded { .. } => "cycle-budget",
+            RunError::Livelock { .. } => "livelock",
+            RunError::WallClockTimeout { .. } => "timeout",
+            RunError::JournalCorrupt { .. } => "journal-corrupt",
+            RunError::Config(_) => "config",
+        }
+    }
+
+    /// Whether `status` is a value the report schema admits (`"ok"` or one
+    /// of the failure statuses).
+    #[must_use]
+    pub fn is_known_status(status: &str) -> bool {
+        RUN_STATUSES.contains(&status)
+    }
+
+    /// Whether the failure is transient — worth one bounded retry — as
+    /// opposed to deterministic (a budget or livelock trip reproduces
+    /// identically on every attempt, so retrying is wasted work).
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(self, RunError::Panic { .. } | RunError::WallClockTimeout { .. })
+    }
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Panic { message } => write!(f, "run panicked: {message}"),
+            RunError::CycleBudgetExceeded { budget, at_cycle } => write!(
+                f,
+                "cycle budget exceeded: clock reached {at_cycle} with a budget of {budget}"
+            ),
+            RunError::Livelock { window, at_cycle, committed } => write!(
+                f,
+                "livelock: no instruction committed for {window} cycles \
+                 (stuck at {committed} committed, cycle {at_cycle})"
+            ),
+            RunError::WallClockTimeout { timeout_ms } => {
+                write!(f, "wall-clock timeout: run exceeded {timeout_ms} ms")
+            }
+            RunError::JournalCorrupt { detail } => write!(f, "study journal corrupt: {detail}"),
+            RunError::Config(err) => write!(f, "configuration rejected: {err}"),
+        }
+    }
+}
+
+impl Error for RunError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RunError::Config(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for RunError {
+    /// Wraps a constructor rejection so `?` keeps working in supervised run
+    /// paths that report [`RunError`].
+    fn from(err: ConfigError) -> Self {
+        RunError::Config(err)
+    }
+}
+
 impl From<UnknownNameError> for ConfigError {
     /// Wraps the lookup failure so `?` keeps working in constructors that
     /// report [`ConfigError`] — the full valid-name list survives into the
@@ -149,6 +290,44 @@ mod tests {
         fn assert_error<T: std::error::Error + Send + Sync + 'static>() {}
         assert_error::<ConfigError>();
         assert_error::<UnknownNameError>();
+    }
+
+    #[test]
+    fn run_error_statuses_are_stable_and_known() {
+        let cases: Vec<(RunError, &str)> = vec![
+            (RunError::Panic { message: "boom".into() }, "panic"),
+            (RunError::CycleBudgetExceeded { budget: 5, at_cycle: 5 }, "cycle-budget"),
+            (RunError::Livelock { window: 8, at_cycle: 20, committed: 3 }, "livelock"),
+            (RunError::WallClockTimeout { timeout_ms: 10 }, "timeout"),
+            (RunError::JournalCorrupt { detail: "bad digest".into() }, "journal-corrupt"),
+            (RunError::Config(ConfigError::new("ways", "must be nonzero")), "config"),
+        ];
+        for (err, status) in cases {
+            assert_eq!(err.status(), status);
+            assert!(RunError::is_known_status(status), "{status} must be in RUN_STATUSES");
+            assert!(!err.to_string().is_empty());
+        }
+        assert!(RunError::is_known_status("ok"));
+        assert!(!RunError::is_known_status("OK"), "statuses are case-sensitive");
+        assert_eq!(RUN_STATUSES.len(), 7, "one per variant plus ok");
+    }
+
+    #[test]
+    fn only_panic_and_timeout_are_transient() {
+        assert!(RunError::Panic { message: "x".into() }.is_transient());
+        assert!(RunError::WallClockTimeout { timeout_ms: 1 }.is_transient());
+        assert!(!RunError::CycleBudgetExceeded { budget: 1, at_cycle: 1 }.is_transient());
+        assert!(!RunError::Livelock { window: 1, at_cycle: 1, committed: 0 }.is_transient());
+        assert!(!RunError::JournalCorrupt { detail: "x".into() }.is_transient());
+        assert!(!RunError::Config(ConfigError::new("p", "m")).is_transient());
+    }
+
+    #[test]
+    fn config_errors_wrap_into_run_errors() {
+        let cfg = ConfigError::new("levels", "must be between 2 and 8");
+        let run: RunError = cfg.clone().into();
+        assert_eq!(run, RunError::Config(cfg));
+        assert!(std::error::Error::source(&run).is_some());
     }
 
     #[test]

@@ -29,6 +29,6 @@ pub mod stats;
 
 pub use addr::Addr;
 pub use cycle::Cycle;
-pub use error::{ConfigError, UnknownNameError};
+pub use error::{ConfigError, RunError, UnknownNameError, RUN_STATUSES};
 pub use request::{AccessKind, MemRequest, MemResponse, ReqId, ServiceLevel};
 pub use size::ByteSize;

@@ -23,6 +23,11 @@
 //!   and asserts per-level hit/miss counts, final resident line sets and
 //!   writeback totals agree; `run_differential_both_engines` additionally
 //!   pins the two time-stepping engines to the identical event stream.
+//! * [`mod@chaos`] — the deterministic fault-injection harness
+//!   (DESIGN.md §14): [`chaos::ChaosPlan`] schedules panics and watchdog
+//!   trips at exact cycles of exact runs through the supervision layer's
+//!   fault hook, pinning quarantine, bounded retry and checkpoint/resume
+//!   behaviour without any timing dependence.
 //! * [`mod@batch`] — the batch-equivalence layer (DESIGN.md §13):
 //!   [`batch::SequentialBaseline`] verifies every case through the oracle
 //!   once, then [`batch::SequentialBaseline::check_batched`] pins a
@@ -64,6 +69,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod chaos;
 pub mod harness;
 pub mod hierarchy;
 pub mod recorder;

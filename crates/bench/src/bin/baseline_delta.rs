@@ -6,7 +6,9 @@
 //! *unknown schema version*, however, exits with code 2: comparing fields
 //! whose meaning may have changed would silently produce nonsense, so
 //! schema drift must be acknowledged here (add the version to
-//! `KNOWN_SCHEMAS`) rather than ignored.
+//! `KNOWN_SCHEMAS`) rather than ignored. An *absent fresh file* is the
+//! benign case — nothing recorded a fresh point this run — and is reported
+//! as exactly that, with the command to generate one, before exiting 0.
 //!
 //! ```text
 //! baseline_delta <committed.json> <fresh.json>
@@ -66,6 +68,22 @@ fn main() {
         eprintln!("usage: baseline_delta <committed.json> <fresh.json>");
         std::process::exit(2);
     };
+    // A missing fresh point is not an error — it just means nothing produced
+    // one this run (e.g. `all_experiments` was skipped or wrote elsewhere).
+    // Say so clearly and exit 0 instead of warning about an unreadable file
+    // and printing a table where every committed row looks "gone".
+    if !std::path::Path::new(&fresh_path).exists() {
+        println!(
+            "no fresh point: {fresh_path} does not exist — nothing to compare against \
+             {committed_path}."
+        );
+        println!(
+            "generate one with `LNUCA_BENCH_JSON={fresh_path} cargo run --release -p \
+             lnuca-bench --bin all_experiments` (or `lnuca-serve --baseline {fresh_path}` \
+             through the daemon); skipping the delta table."
+        );
+        return;
+    }
     let committed = read_baseline(&committed_path);
     let fresh = read_baseline(&fresh_path);
 

@@ -22,6 +22,12 @@
 //! `LNUCA_BATCH`, `LNUCA_BENCH_JSON`, plus the run-supervision knobs
 //! (DESIGN.md §14): `LNUCA_CYCLE_BUDGET`, `LNUCA_RUN_TIMEOUT_MS`,
 //! `LNUCA_LIVELOCK_WINDOW` (all three: `0` = off) and `LNUCA_RETRIES`.
+//!
+//! The serve daemon (DESIGN.md §15) adds three service knobs resolved
+//! here with the same warn-once behaviour: `LNUCA_SERVE_ADDR` (bind
+//! address), `LNUCA_QUEUE_DEPTH` (admission-control bound) and
+//! `LNUCA_SERVE_WORKERS` (persistent worker count). Command-line flags of
+//! `lnuca-serve` override them.
 
 use lnuca_sim::experiments::{ExperimentOptions, WorkloadSelection};
 use lnuca_sim::system::Engine;
@@ -137,6 +143,46 @@ pub fn parse_levels(raw: &str) -> Option<Vec<u8>> {
 #[must_use]
 pub fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// The address `lnuca-serve` binds when neither `--addr` nor
+/// `LNUCA_SERVE_ADDR` says otherwise. Loopback on purpose: exposing the
+/// daemon beyond the host is a deployment decision, not a default.
+pub const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7090";
+
+/// The default admission-control bound on queued jobs (`LNUCA_QUEUE_DEPTH`).
+pub const DEFAULT_QUEUE_DEPTH: usize = 64;
+
+/// `LNUCA_SERVE_ADDR`, or [`DEFAULT_SERVE_ADDR`] when unset/empty.
+#[must_use]
+pub fn serve_addr() -> String {
+    match std::env::var("LNUCA_SERVE_ADDR") {
+        Ok(v) if !v.is_empty() => v,
+        _ => DEFAULT_SERVE_ADDR.to_owned(),
+    }
+}
+
+/// `LNUCA_QUEUE_DEPTH` (clamped to at least 1 — a service with no queue at
+/// all could never accept work), or [`DEFAULT_QUEUE_DEPTH`] when unset or
+/// malformed.
+#[must_use]
+pub fn queue_depth() -> usize {
+    match env_u64("LNUCA_QUEUE_DEPTH") {
+        Some(v) => usize::try_from(v).unwrap_or(usize::MAX).max(1),
+        None => DEFAULT_QUEUE_DEPTH,
+    }
+}
+
+/// `LNUCA_SERVE_WORKERS` (clamped to at least 1), defaulting to the
+/// hardware thread count capped at 4 — each job fans its own run matrix
+/// over `LNUCA_THREADS`, so stacking many service workers on top mostly
+/// buys oversubscription.
+#[must_use]
+pub fn serve_workers() -> usize {
+    match env_u64("LNUCA_SERVE_WORKERS") {
+        Some(v) => usize::try_from(v).unwrap_or(usize::MAX).max(1),
+        None => default_threads().min(4),
+    }
 }
 
 /// Applies the environment layer on top of `opts` (which carries the

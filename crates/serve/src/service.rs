@@ -1,0 +1,712 @@
+//! The daemon core: job table, bounded priority queue, worker pool.
+//!
+//! [`Server`] generalises the per-study worker pool of
+//! `lnuca_sim::experiments` into a daemon-lifetime scheduler. One
+//! **submission** becomes one **job**: a validated scenario resolved to an
+//! [`ExperimentPlan`] with the environment knobs layered exactly as the
+//! CLI layers them, content-addressed by the semantic plan digest. Jobs
+//! wait in a bounded max-priority queue (FIFO within a priority level);
+//! admission control refuses work beyond the bound instead of queueing it.
+//! Worker threads claim jobs and run each one as a full study behind a
+//! `catch_unwind` quarantine — a poisoned scenario fails *its own job* and
+//! the worker survives to take the next one. Completed failure-free
+//! reports land in the [`ResultCache`] so a
+//! semantically identical resubmission is served byte-identically without
+//! simulating anything.
+//!
+//! Cancellation and the graceful drain both ride the cooperative
+//! [`StopSignal`] from PR 7's supervision layer: a queued job dies in
+//! place, a running job stops at run granularity — in-flight runs finish
+//! (and are journaled when `--journal` is set), unstarted runs land in the
+//! report's failure rows. See DESIGN.md §15 for the full state machine.
+
+use crate::cache::ResultCache;
+use crate::metrics::Metrics;
+use lnuca_bench::cli::{self, ResolvedScenario};
+use lnuca_bench::baseline::{self, StudyPerf};
+use lnuca_sim::experiments::{ExperimentOptions, ExperimentPlan, RunPerf, Study};
+use lnuca_sim::scenario::{self, Scenario};
+use lnuca_sim::{journal, StopSignal};
+use std::collections::{BinaryHeap, HashMap};
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Daemon configuration, resolved from flags and `LNUCA_SERVE_*` knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads in the pool (each runs one job at a time).
+    pub workers: usize,
+    /// Admission bound: queued-but-not-running jobs beyond this are 429s.
+    pub queue_depth: usize,
+    /// Result-cache capacity, in reports.
+    pub cache_capacity: usize,
+    /// When set, every job journals completed runs to
+    /// `<dir>/<digest:016x>.jsonl` and the drain stops running jobs at run
+    /// granularity; a restarted daemon resumes them byte-identically. When
+    /// unset, the drain lets running jobs finish.
+    pub journal_dir: Option<PathBuf>,
+    /// When set, completed jobs accumulate throughput records and the
+    /// drain writes a `lnuca-bench-baseline/v3` document here (the
+    /// daemon-hosted equivalent of `all_experiments`).
+    pub baseline_path: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: lnuca_bench::knobs::serve_workers(),
+            queue_depth: lnuca_bench::knobs::queue_depth(),
+            cache_capacity: 64,
+            journal_dir: None,
+            baseline_path: None,
+        }
+    }
+}
+
+/// Lifecycle of one job. Exactly the states of DESIGN.md §15.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// Claimed by a worker, simulating.
+    Running,
+    /// Finished with a report free of failure rows (cached).
+    Done,
+    /// Finished with a report that carries failure rows — e.g. a poisoned
+    /// scenario whose panics were quarantined per run (not cached).
+    Degraded,
+    /// Died without a report (config/journal error, or a panic that
+    /// escaped the study layer).
+    Failed,
+    /// Cancelled by its submitter (queued: dropped in place; running:
+    /// stopped at run granularity, the partial report carries the rest as
+    /// `cancelled` failure rows).
+    Cancelled,
+    /// Stopped by the graceful drain before (or while, when journaling)
+    /// running.
+    Shutdown,
+}
+
+impl JobState {
+    /// Whether the state is terminal (no worker will touch the job again).
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, JobState::Queued | JobState::Running)
+    }
+
+    /// Stable lowercase label used in JSON responses.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Degraded => "degraded",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+            JobState::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// What a submission got back.
+#[derive(Debug)]
+pub enum Submission {
+    /// The semantic digest was cached: the stored report, byte-identical
+    /// to the run that produced it. No job was created.
+    CacheHit {
+        /// The semantic plan digest that hit.
+        digest: u64,
+        /// The cached `lnuca-report/v1` document.
+        report: Arc<str>,
+    },
+    /// Admitted: the job is queued (HTTP 202).
+    Accepted {
+        /// Job id, unique for the daemon's lifetime.
+        id: u64,
+        /// The semantic plan digest the result will be cached under.
+        digest: u64,
+    },
+    /// Admission control refused: the queue is at its bound (HTTP 429).
+    Busy {
+        /// Suggested `Retry-After`, in seconds.
+        retry_after_secs: u64,
+    },
+    /// The daemon is draining and admits nothing (HTTP 503).
+    Draining,
+    /// The document failed scenario validation or plan resolution
+    /// (HTTP 400).
+    Invalid(String),
+}
+
+/// A point-in-time copy of one job's externally visible state.
+#[derive(Debug, Clone)]
+pub struct JobSnapshot {
+    /// Job id.
+    pub id: u64,
+    /// Scenario name.
+    pub name: String,
+    /// Semantic plan digest (the cache and journal key).
+    pub digest: u64,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// The rendered report, present in `Done`/`Degraded` (and in
+    /// `Cancelled`/`Shutdown` when the study still produced one).
+    pub report: Option<Arc<str>>,
+    /// Human-readable failure reason, present in `Failed`.
+    pub error: Option<String>,
+}
+
+/// One queue slot. `BinaryHeap` is a max-heap: higher `priority` first,
+/// and *lower* sequence number first within a priority level (FIFO).
+#[derive(Debug, PartialEq, Eq)]
+struct Slot {
+    priority: i64,
+    seq_desc: std::cmp::Reverse<u64>,
+    id: u64,
+}
+
+impl Ord for Slot {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.priority, &self.seq_desc, self.id).cmp(&(other.priority, &other.seq_desc, other.id))
+    }
+}
+
+impl PartialOrd for Slot {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Everything a worker needs to run a claimed job.
+struct JobWork {
+    id: u64,
+    plan: Arc<ExperimentPlan>,
+    digest: u64,
+    stop: StopSignal,
+}
+
+struct JobRecord {
+    name: String,
+    digest: u64,
+    plan: Arc<ExperimentPlan>,
+    state: JobState,
+    stop: StopSignal,
+    report: Option<Arc<str>>,
+    error: Option<String>,
+}
+
+/// One completed job's contribution to the `--baseline` document.
+struct BaselineRecord {
+    study: String,
+    wall_seconds: f64,
+    runs: Vec<RunPerf>,
+    options: ExperimentOptions,
+}
+
+#[derive(Default)]
+struct Inner {
+    queue: BinaryHeap<Slot>,
+    jobs: HashMap<u64, JobRecord>,
+    draining: bool,
+    next_id: u64,
+    next_seq: u64,
+}
+
+/// The daemon core. Construct with [`Server::start`], share as an `Arc`.
+pub struct Server {
+    config: ServeConfig,
+    metrics: Metrics,
+    cache: Mutex<ResultCache>,
+    inner: Mutex<Inner>,
+    /// Signals workers that the queue or the drain flag changed.
+    work: Condvar,
+    /// Signals waiters that some job reached a terminal state.
+    done: Condvar,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    baseline_records: Mutex<Vec<BaselineRecord>>,
+    started: Instant,
+}
+
+impl Server {
+    /// Boots the worker pool and returns the shared server handle.
+    #[must_use]
+    pub fn start(config: ServeConfig) -> Arc<Server> {
+        if let Some(dir) = &config.journal_dir {
+            // Best-effort: a failure surfaces later as a journal error on
+            // the first job, with a clearer path in its message.
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let workers = config.workers.max(1);
+        let server = Arc::new(Server {
+            metrics: Metrics::new(workers, config.queue_depth),
+            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            inner: Mutex::new(Inner::default()),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            workers: Mutex::new(Vec::new()),
+            baseline_records: Mutex::new(Vec::new()),
+            started: Instant::now(),
+            config,
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for index in 0..workers {
+            let server = Arc::clone(&server);
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("lnuca-serve-worker-{index}"))
+                    .spawn(move || server.worker_loop(index))
+                    .expect("spawn worker thread"),
+            );
+        }
+        *server.workers.lock().expect("workers lock") = handles;
+        server
+    }
+
+    /// The daemon configuration this server was started with.
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The metrics registry (rendered by `GET /metrics`).
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Daemon uptime.
+    #[must_use]
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Submits an `lnuca-scenario/v1` document (HTTP request body).
+    ///
+    /// Document submissions use **file semantics**: the committed
+    /// configuration matrix is run exactly as spelled out, with only the
+    /// options layer (`LNUCA_*`) applied — the same behaviour as
+    /// `lnuca run <file>`.
+    pub fn submit_document(&self, text: &str, priority: i64) -> Submission {
+        let scenario = match Scenario::from_json(text) {
+            Ok(s) => s,
+            Err(e) => return Submission::Invalid(e.to_string()),
+        };
+        self.submit_resolved(
+            ResolvedScenario {
+                scenario,
+                from_registry: false,
+            },
+            priority,
+        )
+    }
+
+    /// Submits a scenario by registry name.
+    ///
+    /// Name submissions use **registry semantics**: the paper scenarios
+    /// regenerate their configuration matrix from the layered options
+    /// (`LNUCA_LEVELS`, `LNUCA_QUICK`, ...), the same behaviour as
+    /// `lnuca run <name>`.
+    pub fn submit_name(&self, name: &str, priority: i64) -> Submission {
+        let scenario = match scenario::builtin(name) {
+            Ok(s) => s,
+            Err(e) => return Submission::Invalid(e.to_string()),
+        };
+        self.submit_resolved(
+            ResolvedScenario {
+                scenario,
+                from_registry: true,
+            },
+            priority,
+        )
+    }
+
+    fn submit_resolved(&self, resolved: ResolvedScenario, priority: i64) -> Submission {
+        let plan = match cli::resolved_plan(&resolved) {
+            Ok(p) => p,
+            Err(e) => return Submission::Invalid(e),
+        };
+        let digest = match journal::plan_digest(&plan) {
+            Ok(d) => d,
+            Err(e) => return Submission::Invalid(e.to_string()),
+        };
+        // Cache first: a hit costs no queue slot and works mid-drain too —
+        // serving stored bytes admits no new work.
+        {
+            let mut cache = self.cache.lock().expect("cache lock");
+            let hit = cache.get(digest);
+            self.sync_cache_stats(&cache);
+            if let Some(report) = hit {
+                return Submission::CacheHit { digest, report };
+            }
+        }
+        let mut inner = self.inner.lock().expect("inner lock");
+        if inner.draining {
+            Metrics::bump(&self.metrics.refused_draining_total);
+            return Submission::Draining;
+        }
+        if inner.queue.len() >= self.config.queue_depth {
+            Metrics::bump(&self.metrics.rejected_total);
+            return Submission::Busy {
+                retry_after_secs: 1,
+            };
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.jobs.insert(
+            id,
+            JobRecord {
+                name: plan.name.clone(),
+                digest,
+                plan: Arc::new(plan),
+                state: JobState::Queued,
+                stop: StopSignal::new(),
+                report: None,
+                error: None,
+            },
+        );
+        inner.queue.push(Slot {
+            priority,
+            seq_desc: std::cmp::Reverse(seq),
+            id,
+        });
+        self.metrics
+            .queue_depth
+            .store(inner.queue.len() as u64, Ordering::Relaxed);
+        Metrics::bump(&self.metrics.jobs_submitted_total);
+        drop(inner);
+        self.work.notify_one();
+        Submission::Accepted { id, digest }
+    }
+
+    /// A point-in-time snapshot of job `id`.
+    #[must_use]
+    pub fn snapshot(&self, id: u64) -> Option<JobSnapshot> {
+        let inner = self.inner.lock().expect("inner lock");
+        inner.jobs.get(&id).map(|job| JobSnapshot {
+            id,
+            name: job.name.clone(),
+            digest: job.digest,
+            state: job.state,
+            report: job.report.clone(),
+            error: job.error.clone(),
+        })
+    }
+
+    /// Blocks until job `id` reaches a terminal state, or `timeout`
+    /// elapses. Returns the final snapshot, or the current (non-terminal)
+    /// one on timeout; `None` for an unknown id.
+    #[must_use]
+    pub fn wait(&self, id: u64, timeout: Duration) -> Option<JobSnapshot> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock().expect("inner lock");
+        loop {
+            match inner.jobs.get(&id) {
+                None => return None,
+                Some(job) if job.state.is_terminal() => break,
+                Some(_) => {}
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _timed_out) = self
+                .done
+                .wait_timeout(inner, deadline - now)
+                .expect("done wait");
+            inner = guard;
+        }
+        inner.jobs.get(&id).map(|job| JobSnapshot {
+            id,
+            name: job.name.clone(),
+            digest: job.digest,
+            state: job.state,
+            report: job.report.clone(),
+            error: job.error.clone(),
+        })
+    }
+
+    /// Cancels job `id`. A queued job dies in place (state `Cancelled`,
+    /// removed from the queue lazily on claim); a running job gets its
+    /// [`StopSignal`] raised and finishes at run granularity. Returns the
+    /// state the job was in when the cancel landed, or `None` for an
+    /// unknown id. Cancelling a terminal job is a no-op.
+    pub fn cancel(&self, id: u64) -> Option<JobState> {
+        let mut inner = self.inner.lock().expect("inner lock");
+        let job = inner.jobs.get_mut(&id)?;
+        let was = job.state;
+        match was {
+            JobState::Queued => {
+                job.state = JobState::Cancelled;
+                job.error = Some("cancelled while queued".to_owned());
+                Metrics::bump(&self.metrics.jobs_cancelled_total);
+                drop(inner);
+                self.done.notify_all();
+            }
+            JobState::Running => {
+                // The worker folds the raise into the terminal state when
+                // the study returns.
+                job.stop.cancel();
+            }
+            _ => {}
+        }
+        Some(was)
+    }
+
+    /// Begins the graceful drain: stop admitting, fail every queued job
+    /// with `Shutdown`, and — when journaling — stop running jobs at run
+    /// granularity so a restarted daemon resumes them. Idempotent.
+    pub fn begin_drain(&self) {
+        let mut inner = self.inner.lock().expect("inner lock");
+        if inner.draining {
+            return;
+        }
+        inner.draining = true;
+        self.metrics.draining.store(1, Ordering::Relaxed);
+        let queued: Vec<u64> = inner.queue.drain().map(|slot| slot.id).collect();
+        self.metrics.queue_depth.store(0, Ordering::Relaxed);
+        for id in queued {
+            if let Some(job) = inner.jobs.get_mut(&id) {
+                if job.state == JobState::Queued {
+                    job.state = JobState::Shutdown;
+                    job.error = Some("daemon drained before the job ran".to_owned());
+                    Metrics::bump(&self.metrics.jobs_shutdown_total);
+                }
+            }
+        }
+        if self.config.journal_dir.is_some() {
+            for job in inner.jobs.values_mut() {
+                if job.state == JobState::Running {
+                    job.stop.shutdown();
+                }
+            }
+        }
+        drop(inner);
+        self.work.notify_all();
+        self.done.notify_all();
+    }
+
+    /// Whether [`Server::begin_drain`] has run.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.inner.lock().expect("inner lock").draining
+    }
+
+    /// Joins every worker after a drain and writes the `--baseline`
+    /// document when configured. Call exactly once, after
+    /// [`Server::begin_drain`].
+    pub fn drain_join(&self) {
+        let handles = std::mem::take(&mut *self.workers.lock().expect("workers lock"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+        if let Some(path) = &self.config.baseline_path {
+            let records = self.baseline_records.lock().expect("baseline lock");
+            if records.is_empty() {
+                eprintln!(
+                    "no completed jobs — skipping the baseline document at {}",
+                    path.display()
+                );
+            } else {
+                let studies: Vec<StudyPerf<'_>> = records
+                    .iter()
+                    .map(|r| StudyPerf {
+                        name: &r.study,
+                        wall_seconds: r.wall_seconds,
+                        runs: &r.runs,
+                    })
+                    .collect();
+                let total: f64 = records.iter().map(|r| r.wall_seconds).sum();
+                let json = baseline::baseline_json(&records[0].options, &studies, total);
+                if let Err(e) = baseline::write(path, &json) {
+                    eprintln!("cannot write baseline {}: {e}", path.display());
+                }
+            }
+        }
+    }
+
+    /// Pushes the cache's lifetime counters into the metrics registry.
+    /// `fetch_max` keeps each series monotone even when two submissions
+    /// race to publish.
+    fn sync_cache_stats(&self, cache: &ResultCache) {
+        let (hits, misses, evictions) = cache.stats();
+        self.metrics.cache_hits_total.fetch_max(hits, Ordering::Relaxed);
+        self.metrics.cache_misses_total.fetch_max(misses, Ordering::Relaxed);
+        self.metrics
+            .cache_evictions_total
+            .fetch_max(evictions, Ordering::Relaxed);
+    }
+
+    /// Claims the next runnable job, blocking until one exists or the
+    /// drain empties the world. `None` means "worker should exit".
+    fn claim(&self) -> Option<JobWork> {
+        let mut inner = self.inner.lock().expect("inner lock");
+        loop {
+            while let Some(slot) = inner.queue.pop() {
+                let depth = inner.queue.len() as u64;
+                self.metrics.queue_depth.store(depth, Ordering::Relaxed);
+                let Some(job) = inner.jobs.get_mut(&slot.id) else {
+                    continue;
+                };
+                // A job cancelled while queued stays in the heap until
+                // claimed; skip its corpse here.
+                if job.state != JobState::Queued {
+                    continue;
+                }
+                job.state = JobState::Running;
+                return Some(JobWork {
+                    id: slot.id,
+                    plan: Arc::clone(&job.plan),
+                    digest: job.digest,
+                    stop: job.stop.clone(),
+                });
+            }
+            if inner.draining {
+                return None;
+            }
+            inner = self.work.wait(inner).expect("work wait");
+        }
+    }
+
+    fn worker_loop(self: Arc<Server>, index: usize) {
+        while let Some(work) = self.claim() {
+            self.metrics.inflight_jobs.fetch_add(1, Ordering::Relaxed);
+            let outcome = self.run_job(index, &work);
+            self.metrics.inflight_jobs.fetch_sub(1, Ordering::Relaxed);
+            self.finish_job(work.id, outcome);
+        }
+    }
+
+    /// Runs one job behind the panic quarantine. Returns the terminal
+    /// state plus the report / error to record.
+    fn run_job(
+        &self,
+        index: usize,
+        work: &JobWork,
+    ) -> (JobState, Option<Arc<str>>, Option<String>) {
+        let journal_path = self
+            .config
+            .journal_dir
+            .as_ref()
+            .map(|dir| dir.join(format!("{:016x}.jsonl", work.digest)));
+        let plan = Arc::clone(&work.plan);
+        let stop = work.stop.clone();
+        let started = Instant::now();
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            // resume = true: a journal left by a drained predecessor (same
+            // digest → same plan semantics) is continued, not restarted.
+            Study::run_controlled(&plan, journal_path.as_deref(), true, &stop)
+        }));
+        let wall_seconds = started.elapsed().as_secs_f64();
+        match result {
+            Err(payload) => {
+                // The per-run supervision inside the study already contains
+                // simulation panics; reaching here means setup/reporting
+                // code died. Quarantine: this job fails, the worker lives.
+                let message = lnuca_sim::supervise::panic_message(&payload);
+                Metrics::bump(&self.metrics.jobs_failed_total);
+                (
+                    JobState::Failed,
+                    None,
+                    Some(format!("job panicked outside run supervision: {message}")),
+                )
+            }
+            Ok(Err(e)) => {
+                Metrics::bump(&self.metrics.jobs_failed_total);
+                (JobState::Failed, None, Some(e.to_string()))
+            }
+            Ok(Ok(study)) => {
+                let cycles: u64 = study.perf.iter().map(|p| p.cycles).sum();
+                self.metrics
+                    .simulated_cycles_total
+                    .fetch_add(cycles, Ordering::Relaxed);
+                if wall_seconds > 0.0 {
+                    self.metrics
+                        .record_worker_rate(index, cycles as f64 / 1_000.0 / wall_seconds);
+                }
+                let report: Arc<str> =
+                    Arc::from(scenario::report_value(&plan, &study).to_pretty());
+                let stopped = work.stop.error();
+                if let Some(stop_error) = stopped {
+                    let state = match stop_error {
+                        lnuca_types::RunError::Shutdown => {
+                            Metrics::bump(&self.metrics.jobs_shutdown_total);
+                            JobState::Shutdown
+                        }
+                        _ => {
+                            Metrics::bump(&self.metrics.jobs_cancelled_total);
+                            JobState::Cancelled
+                        }
+                    };
+                    return (state, Some(report), Some(stop_error.to_string()));
+                }
+                if study.failures.is_empty() {
+                    let mut cache = self.cache.lock().expect("cache lock");
+                    cache.insert(work.digest, Arc::clone(&report));
+                    self.sync_cache_stats(&cache);
+                    drop(cache);
+                    self.record_baseline(&plan, &study, wall_seconds);
+                    // A completed job's journal is spent: the cache now
+                    // owns the result, and keeping the file would only
+                    // make a future identical submission re-read it.
+                    if let Some(path) = &journal_path {
+                        let _ = std::fs::remove_file(path);
+                    }
+                    Metrics::bump(&self.metrics.jobs_completed_total);
+                    (JobState::Done, Some(report), None)
+                } else {
+                    let summary = format!(
+                        "{} of {} runs failed (first: {})",
+                        study.failures.len(),
+                        study.results.len() + study.failures.len(),
+                        study.failures[0].error,
+                    );
+                    Metrics::bump(&self.metrics.jobs_degraded_total);
+                    (JobState::Degraded, Some(report), Some(summary))
+                }
+            }
+        }
+    }
+
+    fn finish_job(&self, id: u64, outcome: (JobState, Option<Arc<str>>, Option<String>)) {
+        let (state, report, error) = outcome;
+        let mut inner = self.inner.lock().expect("inner lock");
+        if let Some(job) = inner.jobs.get_mut(&id) {
+            job.state = state;
+            job.report = report;
+            job.error = error;
+        }
+        drop(inner);
+        self.done.notify_all();
+    }
+
+    /// Accumulates a completed job's throughput for the `--baseline`
+    /// document, under the study name `all_experiments` would use (the
+    /// registry plans are `paper-conventional` / `paper-dnuca`, the
+    /// committed baseline says `conventional` / `dnuca`).
+    fn record_baseline(&self, plan: &ExperimentPlan, study: &Study, wall_seconds: f64) {
+        if self.config.baseline_path.is_none() {
+            return;
+        }
+        let name = plan
+            .name
+            .strip_prefix("paper-")
+            .unwrap_or(&plan.name)
+            .to_owned();
+        self.baseline_records
+            .lock()
+            .expect("baseline lock")
+            .push(BaselineRecord {
+                study: name,
+                wall_seconds,
+                runs: study.perf.clone(),
+                options: plan.options.clone(),
+            });
+    }
+}

@@ -16,7 +16,7 @@ use crate::configs::{self, HierarchyKind};
 use crate::energy_model;
 use crate::journal::{self, JournalWriter};
 use crate::spec::HierarchySpec;
-use crate::supervise::{self, Supervisor};
+use crate::supervise::{self, StopSignal, Supervisor};
 use crate::system::{Engine, RunResult};
 use lnuca_energy::{AreaModel, PAPER_TABLE2};
 use lnuca_types::stats::harmonic_mean;
@@ -237,8 +237,8 @@ impl ExperimentOptionsBuilder {
         self
     }
 
-    /// Sets the L-NUCA level counts the deprecated study constructors (and
-    /// the built-in paper plans) expand into configurations.
+    /// Sets the L-NUCA level counts the built-in paper plans expand into
+    /// configurations.
     #[must_use]
     pub fn lnuca_levels(mut self, levels: Vec<u8>) -> Self {
         self.options.lnuca_levels = levels;
@@ -309,10 +309,10 @@ impl ExperimentOptionsBuilder {
 /// run (baseline first) over which workloads with which engine knobs.
 ///
 /// This is the single entry point's input ([`Study::run`]); the scenario
-/// JSON files of `crate::scenario` deserialize into it, the built-in paper
-/// plans ([`ExperimentPlan::paper_conventional`] /
-/// [`ExperimentPlan::paper_dnuca`]) reproduce the deprecated
-/// [`Study::conventional`] / [`Study::dnuca`] matrices bit-identically.
+/// JSON files of `crate::scenario` deserialize into it, and the built-in
+/// paper plans ([`ExperimentPlan::paper_conventional`] /
+/// [`ExperimentPlan::paper_dnuca`]) spell out the paper's two study
+/// matrices.
 ///
 /// # Example
 ///
@@ -365,7 +365,7 @@ impl ExperimentPlan {
 
     /// The conventional-study plan: baseline `L2-256KB` plus one
     /// `LNx + L3` configuration per entry of `options.lnuca_levels` —
-    /// exactly the matrix the deprecated [`Study::conventional`] ran.
+    /// the matrix of Figs. 4(a)/4(b) and Table III.
     ///
     /// # Errors
     ///
@@ -386,8 +386,8 @@ impl ExperimentPlan {
     }
 
     /// The D-NUCA-study plan: baseline `DN-4x8` plus one `LNx + DN-4x8`
-    /// configuration per entry of `options.lnuca_levels` — exactly the
-    /// matrix the deprecated [`Study::dnuca`] ran.
+    /// configuration per entry of `options.lnuca_levels` — the matrix of
+    /// Figs. 5(a)/5(b).
     ///
     /// # Errors
     ///
@@ -616,36 +616,6 @@ pub struct HeadlineSummary {
 }
 
 impl Study {
-    /// Runs the conventional-hierarchy study (baseline `L2-256KB` plus the
-    /// requested L-NUCA configurations).
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`ConfigError`] if any configuration is invalid.
-    #[deprecated(
-        since = "0.1.0",
-        note = "compose an ExperimentPlan (ExperimentPlan::paper_conventional, or a scenario \
-                file through lnuca_sim::scenario) and call Study::run"
-    )]
-    pub fn conventional(opts: &ExperimentOptions) -> Result<Self, ConfigError> {
-        Self::run(&ExperimentPlan::paper_conventional(opts)?)
-    }
-
-    /// Runs the D-NUCA study (baseline `DN-4x8` plus L-NUCA + D-NUCA
-    /// configurations).
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`ConfigError`] if any configuration is invalid.
-    #[deprecated(
-        since = "0.1.0",
-        note = "compose an ExperimentPlan (ExperimentPlan::paper_dnuca, or a scenario file \
-                through lnuca_sim::scenario) and call Study::run"
-    )]
-    pub fn dnuca(opts: &ExperimentOptions) -> Result<Self, ConfigError> {
-        Self::run(&ExperimentPlan::paper_dnuca(opts)?)
-    }
-
     /// Runs an [`ExperimentPlan`]: every configuration × every selected
     /// workload, fanned out over `plan.options.threads` workers, outcomes
     /// collected in job order (bit-identical to a sequential run).
@@ -654,9 +624,9 @@ impl Study {
     /// retry exhaustion lands in [`Study::failures`] instead of unwinding or
     /// aborting the study.
     ///
-    /// This is the one experiment entry point; the deprecated
-    /// [`Study::conventional`] / [`Study::dnuca`] constructors are thin
-    /// shims over the built-in paper plans.
+    /// This is the one experiment entry point; the paper studies are the
+    /// built-in [`ExperimentPlan::paper_conventional`] /
+    /// [`ExperimentPlan::paper_dnuca`] plans.
     ///
     /// # Errors
     ///
@@ -664,7 +634,7 @@ impl Study {
     /// invalid, or a named workload does not exist. Per-run failures do
     /// **not** error — they are collected in [`Study::failures`].
     pub fn run(plan: &ExperimentPlan) -> Result<Self, ConfigError> {
-        Self::run_inner(plan, None, Vec::new())
+        Self::run_inner(plan, None, Vec::new(), None)
     }
 
     /// Runs a plan with a crash-safe journal at `path`: every completed run
@@ -689,6 +659,35 @@ impl Study {
         path: &Path,
         resume: bool,
     ) -> Result<Self, RunError> {
+        Self::run_controlled(plan, Some(path), resume, &StopSignal::new())
+    }
+
+    /// The full-control entry point behind the serve daemon: an optional
+    /// crash-safe journal (as in [`Study::run_journaled`]) plus a
+    /// cooperative [`StopSignal`].
+    ///
+    /// Raising the signal mid-study stops the worker pool cleanly at run
+    /// granularity: in-flight runs finish (and are journaled), every run
+    /// not yet started lands in [`Study::failures`] with the signal's
+    /// [`RunError`] (`Cancelled` or `Shutdown`). Because failures are never
+    /// journaled, re-running the same plan against the same journal with
+    /// `resume = true` replays the completed runs and simulates only the
+    /// rest — producing a report byte-identical to one from a single
+    /// uninterrupted invocation.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Config`] on an invalid plan, [`RunError::JournalCorrupt`]
+    /// on a journal that does not match the plan or cannot be read/written.
+    pub fn run_controlled(
+        plan: &ExperimentPlan,
+        journal: Option<&Path>,
+        resume: bool,
+        stop: &StopSignal,
+    ) -> Result<Self, RunError> {
+        let Some(path) = journal else {
+            return Ok(Self::run_inner(plan, None, Vec::new(), Some(stop))?);
+        };
         let total = journal::job_count(plan)?;
         let (writer, preloaded) = if resume && path.exists() {
             let preloaded = journal::read_journal(path, plan, total)?;
@@ -696,7 +695,7 @@ impl Study {
         } else {
             (JournalWriter::create(path, plan, total)?, Vec::new())
         };
-        let study = Self::run_inner(plan, Some(&writer), preloaded)?;
+        let study = Self::run_inner(plan, Some(&writer), preloaded, Some(stop))?;
         writer.finish()?;
         Ok(study)
     }
@@ -709,6 +708,7 @@ impl Study {
         plan: &ExperimentPlan,
         journal: Option<&JournalWriter>,
         mut preloaded: Vec<Option<(RunResult, RunPerf)>>,
+        stop: Option<&StopSignal>,
     ) -> Result<Self, ConfigError> {
         let opts = &plan.options;
         let workloads = opts.workloads()?;
@@ -745,6 +745,7 @@ impl Study {
             opts.batch_size,
             &supervisor,
             journal,
+            stop,
         );
         let mut ran = pending.iter().zip(outcomes);
         let mut results = Vec::with_capacity(jobs.len());
@@ -996,6 +997,11 @@ fn run_batch(
 /// but the job description, so runs share no state and the outcome vector is
 /// bit-identical to a sequential execution — the workers and the batch cut
 /// only change which wall-clock instant each run happens at.
+///
+/// `stop` is checked once per claim (job or batch): a raised signal turns
+/// every not-yet-claimed unit into failures carrying the signal's error,
+/// without simulating them.
+#[allow(clippy::too_many_arguments)]
 fn run_jobs(
     jobs: &[Job<'_>],
     instructions: u64,
@@ -1004,14 +1010,28 @@ fn run_jobs(
     batch_size: usize,
     supervisor: &Supervisor,
     journal: Option<&JournalWriter>,
+    stop: Option<&StopSignal>,
 ) -> Vec<JobOutcome> {
+    let stopped = || stop.and_then(StopSignal::error);
+    let stop_batch = |batch: &[Job<'_>], error: &RunError| -> Vec<JobOutcome> {
+        batch
+            .iter()
+            .map(|_| JobOutcome {
+                outcome: Err(error.clone()),
+                attempts: 0,
+            })
+            .collect()
+    };
     if batch_size > 1 {
         let batches: Vec<&[Job<'_>]> = jobs.chunks(batch_size).collect();
         let threads = threads.max(1).min(batches.len().max(1));
         if threads == 1 {
             return batches
                 .iter()
-                .flat_map(|batch| run_batch(batch, instructions, engine, supervisor, journal))
+                .flat_map(|batch| match stopped() {
+                    Some(error) => stop_batch(batch, &error),
+                    None => run_batch(batch, instructions, engine, supervisor, journal),
+                })
                 .collect();
         }
         let next_batch = AtomicUsize::new(0);
@@ -1022,7 +1042,10 @@ fn run_jobs(
                 scope.spawn(|| loop {
                     let i = next_batch.fetch_add(1, Ordering::Relaxed);
                     let Some(batch) = batches.get(i) else { break };
-                    let outcomes = run_batch(batch, instructions, engine, supervisor, journal);
+                    let outcomes = match stopped() {
+                        Some(error) => stop_batch(batch, &error),
+                        None => run_batch(batch, instructions, engine, supervisor, journal),
+                    };
                     *slots[i].lock().expect("no other holder can panic") = Some(outcomes);
                 });
             }
@@ -1041,7 +1064,13 @@ fn run_jobs(
     if threads == 1 {
         return jobs
             .iter()
-            .map(|job| run_job(job, instructions, engine, supervisor, journal))
+            .map(|job| match stopped() {
+                Some(error) => JobOutcome {
+                    outcome: Err(error),
+                    attempts: 0,
+                },
+                None => run_job(job, instructions, engine, supervisor, journal),
+            })
             .collect();
     }
 
@@ -1052,7 +1081,13 @@ fn run_jobs(
             scope.spawn(|| loop {
                 let i = next_job.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(i) else { break };
-                let outcome = run_job(job, instructions, engine, supervisor, journal);
+                let outcome = match stopped() {
+                    Some(error) => JobOutcome {
+                        outcome: Err(error),
+                        attempts: 0,
+                    },
+                    None => run_job(job, instructions, engine, supervisor, journal),
+                };
                 *slots[i].lock().expect("no other holder can panic") = Some(outcome);
             });
         }
@@ -1144,12 +1179,12 @@ pub fn headline(study: &Study) -> HeadlineSummary {
 mod tests {
     use super::*;
 
-    /// The plan-path equivalent of the deprecated `Study::conventional`.
+    /// Runs the built-in conventional paper plan.
     fn conventional(opts: &ExperimentOptions) -> Result<Study, ConfigError> {
         Study::run(&ExperimentPlan::paper_conventional(opts)?)
     }
 
-    /// The plan-path equivalent of the deprecated `Study::dnuca`.
+    /// Runs the built-in D-NUCA paper plan.
     fn dnuca(opts: &ExperimentOptions) -> Result<Study, ConfigError> {
         Study::run(&ExperimentPlan::paper_dnuca(opts)?)
     }
@@ -1305,5 +1340,48 @@ mod tests {
         assert!(h.area_change_pct < 0.0, "LN3 must save area vs L2-256KB");
         assert!(h.int_ipc_gain_pct.is_finite());
         assert!(h.energy_change_pct.is_finite());
+    }
+
+    #[test]
+    fn raised_stop_signal_fails_every_unstarted_run_without_simulating() {
+        let mut opts = ExperimentOptions::quick();
+        opts.instructions = 1_000;
+        opts.lnuca_levels = vec![2];
+        opts.benchmarks_per_suite = Some(1);
+        let plan = ExperimentPlan::paper_conventional(&opts).unwrap();
+
+        let stop = StopSignal::new();
+        stop.cancel();
+        stop.shutdown(); // the first raise wins
+        let study = Study::run_controlled(&plan, None, false, &stop).unwrap();
+        assert!(study.results.is_empty(), "no run may start after the signal");
+        assert_eq!(study.failures.len(), 2 * 2);
+        assert!(study
+            .failures
+            .iter()
+            .all(|f| f.error == lnuca_types::RunError::Cancelled && f.attempts == 0));
+
+        // An unraised signal is invisible: bit-identical to Study::run.
+        let baseline = Study::run(&plan).unwrap();
+        let unstopped = Study::run_controlled(&plan, None, false, &StopSignal::new()).unwrap();
+        assert_eq!(baseline.results, unstopped.results);
+        assert!(unstopped.failures.is_empty());
+    }
+
+    #[test]
+    fn stopped_batched_study_reports_the_stop_per_member() {
+        let mut opts = ExperimentOptions::quick();
+        opts.instructions = 1_000;
+        opts.lnuca_levels = vec![2];
+        opts.benchmarks_per_suite = Some(1);
+        opts.batch_size = 3;
+        let plan = ExperimentPlan::paper_dnuca(&opts).unwrap();
+
+        let stop = StopSignal::new();
+        stop.shutdown();
+        let study = Study::run_controlled(&plan, None, false, &stop).unwrap();
+        assert!(study.results.is_empty());
+        assert_eq!(study.failures.len(), 2 * 2);
+        assert!(study.failures.iter().all(|f| f.error == lnuca_types::RunError::Shutdown));
     }
 }

@@ -23,12 +23,13 @@
 //!   simulations in lockstep along a per-batch horizon heap, bit-identical
 //!   per member to the solo path,
 //! * [`experiments`] — the declarative [`ExperimentPlan`] and the single
-//!   [`Study::run`] entry point (the per-study constructors are deprecated
-//!   shims over the built-in paper plans); `ExperimentOptions::batch_size`
-//!   routes the matrix through the batched engine,
+//!   [`Study::run`] entry point (the paper studies are the built-in
+//!   `paper_*` plans); `ExperimentOptions::batch_size` routes the matrix
+//!   through the batched engine,
 //! * [`supervise`] — run supervision (DESIGN.md §14): panic isolation per
 //!   job and batch member, cycle/livelock/wall-clock watchdogs, bounded
-//!   retry and the deterministic fault-injection seam,
+//!   retry, the cooperative [`StopSignal`] behind service cancellation and
+//!   drain (DESIGN.md §15), and the deterministic fault-injection seam,
 //! * [`journal`] — the crash-safe, content-addressed study journal behind
 //!   `lnuca run --journal`/`--resume`,
 //! * [`scenario`] — `lnuca-scenario/v1` JSON documents for plans, the
@@ -74,5 +75,5 @@ pub use configs::HierarchyKind;
 pub use experiments::{ExperimentPlan, FailedRun, Study};
 pub use hierarchy::{ClassicHierarchy, HierarchyStats, LNucaHierarchy};
 pub use spec::{BackingSpec, HierarchySpec, IntermediateSpec};
-pub use supervise::{Budgets, Supervisor};
+pub use supervise::{Budgets, StopSignal, Supervisor};
 pub use system::{Engine, RunResult, System};

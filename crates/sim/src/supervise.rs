@@ -41,7 +41,7 @@ use lnuca_types::{Cycle, RunError};
 use lnuca_workloads::WorkloadProfile;
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -320,9 +320,81 @@ impl Supervisor {
     }
 }
 
+/// A cooperative stop signal shared between a running study and an outside
+/// controller — the seam behind the serve daemon's per-job cancellation and
+/// its SIGTERM graceful drain.
+///
+/// The worker pool checks the signal before claiming each job (and each
+/// batch): once raised, every not-yet-started run of the study fails with
+/// the carried [`RunError`] (`Cancelled` or `Shutdown`) instead of
+/// executing. Runs already in flight finish normally — a stop is clean at
+/// run granularity, so every result the study does produce is bit-identical
+/// to an unstopped run's, and a journaled study resumes byte-identically.
+///
+/// The first raise wins: a cancel followed by a shutdown (or vice versa)
+/// keeps the first reason, so a job's failure rows all carry one status.
+#[derive(Clone, Debug, Default)]
+pub struct StopSignal {
+    /// 0 = run, 1 = cancelled, 2 = shutdown. First writer wins.
+    state: Arc<AtomicU8>,
+}
+
+impl StopSignal {
+    const RUN: u8 = 0;
+    const CANCELLED: u8 = 1;
+    const SHUTDOWN: u8 = 2;
+
+    /// A fresh, unraised signal.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the signal with [`RunError::Cancelled`] (no-op if already
+    /// raised).
+    pub fn cancel(&self) {
+        let _ = self.state.compare_exchange(
+            Self::RUN,
+            Self::CANCELLED,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    /// Raises the signal with [`RunError::Shutdown`] (no-op if already
+    /// raised).
+    pub fn shutdown(&self) {
+        let _ = self.state.compare_exchange(
+            Self::RUN,
+            Self::SHUTDOWN,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    /// Whether the signal has been raised.
+    #[must_use]
+    pub fn is_raised(&self) -> bool {
+        self.state.load(Ordering::Acquire) != Self::RUN
+    }
+
+    /// The failure every not-yet-started run reports once the signal is
+    /// raised (`None` while the study should keep running).
+    #[must_use]
+    pub fn error(&self) -> Option<RunError> {
+        match self.state.load(Ordering::Acquire) {
+            Self::CANCELLED => Some(RunError::Cancelled),
+            Self::SHUTDOWN => Some(RunError::Shutdown),
+            _ => None,
+        }
+    }
+}
+
 /// Renders a caught panic payload (the `&str`/`String` payloads `panic!`
-/// produces; anything else becomes a placeholder).
-fn panic_message(payload: &(dyn Any + Send)) -> String {
+/// produces; anything else becomes a placeholder). Public so outer
+/// quarantine layers (the serve daemon's per-job `catch_unwind`) report
+/// panics the same way the per-run supervision does.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -173,6 +173,15 @@ pub enum RunError {
     },
     /// The job's configuration was rejected while building the system.
     Config(ConfigError),
+    /// The run's job was cancelled by its submitter before this run
+    /// executed (the service layer's per-job cancellation). In-flight runs
+    /// are never torn mid-simulation — cancellation is clean at run
+    /// granularity, so completed runs of the same job stay valid.
+    Cancelled,
+    /// The service began a graceful drain (SIGTERM) before this run
+    /// executed. Completed runs of the job are journaled; resubmitting the
+    /// same scenario against the journal resumes byte-identically.
+    Shutdown,
 }
 
 /// Every status string a `lnuca-report/v1` per-run `status` field may carry:
@@ -185,6 +194,8 @@ pub const RUN_STATUSES: &[&str] = &[
     "timeout",
     "journal-corrupt",
     "config",
+    "cancelled",
+    "shutdown",
 ];
 
 impl RunError {
@@ -199,6 +210,8 @@ impl RunError {
             RunError::WallClockTimeout { .. } => "timeout",
             RunError::JournalCorrupt { .. } => "journal-corrupt",
             RunError::Config(_) => "config",
+            RunError::Cancelled => "cancelled",
+            RunError::Shutdown => "shutdown",
         }
     }
 
@@ -236,6 +249,10 @@ impl fmt::Display for RunError {
             }
             RunError::JournalCorrupt { detail } => write!(f, "study journal corrupt: {detail}"),
             RunError::Config(err) => write!(f, "configuration rejected: {err}"),
+            RunError::Cancelled => write!(f, "job cancelled before this run executed"),
+            RunError::Shutdown => {
+                write!(f, "service drained (SIGTERM) before this run executed")
+            }
         }
     }
 }
@@ -301,6 +318,8 @@ mod tests {
             (RunError::WallClockTimeout { timeout_ms: 10 }, "timeout"),
             (RunError::JournalCorrupt { detail: "bad digest".into() }, "journal-corrupt"),
             (RunError::Config(ConfigError::new("ways", "must be nonzero")), "config"),
+            (RunError::Cancelled, "cancelled"),
+            (RunError::Shutdown, "shutdown"),
         ];
         for (err, status) in cases {
             assert_eq!(err.status(), status);
@@ -309,7 +328,7 @@ mod tests {
         }
         assert!(RunError::is_known_status("ok"));
         assert!(!RunError::is_known_status("OK"), "statuses are case-sensitive");
-        assert_eq!(RUN_STATUSES.len(), 7, "one per variant plus ok");
+        assert_eq!(RUN_STATUSES.len(), 9, "one per variant plus ok");
     }
 
     #[test]
@@ -320,6 +339,8 @@ mod tests {
         assert!(!RunError::Livelock { window: 1, at_cycle: 1, committed: 0 }.is_transient());
         assert!(!RunError::JournalCorrupt { detail: "x".into() }.is_transient());
         assert!(!RunError::Config(ConfigError::new("p", "m")).is_transient());
+        assert!(!RunError::Cancelled.is_transient(), "a cancelled job must not retry itself");
+        assert!(!RunError::Shutdown.is_transient(), "a draining service must not retry");
     }
 
     #[test]

@@ -5,13 +5,14 @@
 //!    either place fails here before it fails in CI),
 //! 2. running the six paper configurations through the scenario files and
 //!    `Study::run` produces `RunResult`s **bit-identical** to the
-//!    deprecated `Study::conventional` / `Study::dnuca` constructors,
+//!    programmatic paper plans (`ExperimentPlan::paper_conventional` /
+//!    `ExperimentPlan::paper_dnuca`),
 //! 3. a non-paper hierarchy loaded from a scenario file runs end to end.
 //!
 //! (The differential-oracle coverage of the non-paper shapes lives in
 //! `crates/verify/tests/custom_shapes.rs`.)
 
-use lnuca_suite::sim::experiments::{ExperimentOptions, Study};
+use lnuca_suite::sim::experiments::{ExperimentOptions, ExperimentPlan, Study};
 use lnuca_suite::sim::scenario::{self, Scenario};
 use std::path::PathBuf;
 
@@ -61,32 +62,32 @@ fn committed_scenario_files_are_the_canonical_builtins() {
 
 /// Acceptance pin: the six paper configurations (L2-256KB, LN2/LN3/LN4 + L3,
 /// DN-4x8, LNx + DN-4x8), driven through the committed scenario files and
-/// the one `Study::run` entry point, are bit-identical to the deprecated
-/// constructor paths.
+/// the one `Study::run` entry point, are bit-identical to the programmatic
+/// paper plans.
 #[test]
-#[allow(deprecated)]
-fn scenario_runs_are_bit_identical_to_the_deprecated_constructors() {
+fn scenario_runs_are_bit_identical_to_the_programmatic_paper_plans() {
     let opts = reduced_options();
 
-    for (file, deprecated_study) in [
-        ("paper-conventional", Study::conventional(&opts).expect("valid configurations")),
-        ("paper-dnuca", Study::dnuca(&opts).expect("valid configurations")),
-    ] {
+    let conventional = ExperimentPlan::paper_conventional(&opts).expect("valid configurations");
+    let dnuca = ExperimentPlan::paper_dnuca(&opts).expect("valid configurations");
+    for (file, programmatic_plan) in [("paper-conventional", conventional), ("paper-dnuca", dnuca)]
+    {
+        let programmatic_study = Study::run(&programmatic_plan).expect("valid configurations");
         let mut plan = load(file).plan;
         plan.options = opts.clone();
         let scenario_study = Study::run(&plan).expect("valid configurations");
 
-        assert_eq!(scenario_study.configs, deprecated_study.configs, "{file}: same matrix");
-        assert_eq!(scenario_study.baseline, deprecated_study.baseline);
+        assert_eq!(scenario_study.configs, programmatic_study.configs, "{file}: same matrix");
+        assert_eq!(scenario_study.baseline, programmatic_study.baseline);
         assert_eq!(
-            scenario_study.results, deprecated_study.results,
+            scenario_study.results, programmatic_study.results,
             "{file}: RunResults must be bit-identical between the scenario \
-             path and the deprecated constructor"
+             path and the programmatic paper plan"
         );
         // The derived summaries follow, but they are what the figures print.
-        assert_eq!(scenario_study.ipc_summary(), deprecated_study.ipc_summary());
-        assert_eq!(scenario_study.energy_summary(), deprecated_study.energy_summary());
-        assert_eq!(scenario_study.hit_distribution(), deprecated_study.hit_distribution());
+        assert_eq!(scenario_study.ipc_summary(), programmatic_study.ipc_summary());
+        assert_eq!(scenario_study.energy_summary(), programmatic_study.energy_summary());
+        assert_eq!(scenario_study.hit_distribution(), programmatic_study.hit_distribution());
     }
 }
 

@@ -8,13 +8,15 @@
 //! the `lnuca-report/v1` JSON document. The twelve per-figure binaries are
 //! thin `main`s over [`figure_main`] / the `*_main` drivers here; the
 //! `lnuca` binary exposes the whole surface as subcommands
-//! (`list` / `run` / `validate` / `export` / `check-report`).
+//! (`list` / `run` / `validate` / `export` / `check-report` /
+//! `ingest` / `sweep`).
 
 use crate::{baseline, f3, knobs, signed_pct};
 use lnuca_sim::experiments::{area_table, headline, ExperimentPlan, Study};
 use lnuca_sim::report::format_table;
 use lnuca_sim::scenario::{self, Scenario};
-use lnuca_workloads::Suite;
+use lnuca_sim::sweep::SweepConfig;
+use lnuca_workloads::{trace, Suite};
 use std::path::Path;
 use std::time::Instant;
 
@@ -745,9 +747,126 @@ USAGE:
     lnuca export <name>                 print a built-in scenario as its
                                         canonical JSON document
     lnuca check-report <file>...        validate lnuca-report/v1 documents
+    lnuca ingest <dump.txt> [--output PATH]
+                                        convert a textual access dump (one
+                                        `<r|w> <addr> [pc]` per line, `#`
+                                        comments, decimal or 0x hex) into a
+                                        compact lnuca-trace/v1 file; a
+                                        malformed line fails with its line
+                                        number; the default output replaces
+                                        the input extension with .lnt; the
+                                        result replays through any workload
+                                        slot that names the .lnt path
+    lnuca sweep [--mini] [--epsilon E] [--probe N] [--report PATH]
+                                        expand the design-space grid (tile
+                                        size x levels x routing x backing x
+                                        DRAM timing; 160 points, or the
+                                        16-point --mini grid), probe every
+                                        point cheaply, prune e-dominated
+                                        points, evaluate the survivors with
+                                        the batched engine, and print the
+                                        Pareto frontier; --report writes
+                                        the lnuca-report/v1 document with
+                                        the `sweep` extension that
+                                        check-report validates
 
 The LNUCA_* environment variables layer on top of every scenario's options
-(defaults < scenario file < environment); see the lnuca-bench crate docs.";
+(defaults < scenario file < environment); see the lnuca-bench crate docs.
+Sweeps add LNUCA_SWEEP_EPSILON and LNUCA_SWEEP_PROBE (flags win over env).";
+
+/// The `lnuca ingest` driver: read a textual access dump, encode it as
+/// `lnuca-trace/v1`, write it, and describe the result.
+///
+/// # Errors
+///
+/// Returns a printable message; malformed dump lines carry their 1-based
+/// line number ([`lnuca_workloads::IngestError`]).
+pub fn ingest_dump(input: &str, output: &str) -> Result<String, String> {
+    let text =
+        std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    let records = trace::ingest_text(&text).map_err(|e| format!("{input}: {e}"))?;
+    trace::write_file(output, &records).map_err(|e| e.to_string())?;
+    let bytes = std::fs::metadata(output).map(|m| m.len()).unwrap_or(0);
+    Ok(format!(
+        "{output}: {} record(s) in {bytes} bytes ({:.2} bytes/record; the dump was {} bytes)",
+        records.len(),
+        bytes as f64 / records.len() as f64,
+        text.len(),
+    ))
+}
+
+/// The `lnuca sweep` driver: layer the configuration (grid defaults <
+/// `LNUCA_SWEEP_*`/`LNUCA_*` environment < flags), run the sweep, print
+/// the pruning outcome and the Pareto frontier, and optionally write the
+/// extended `lnuca-report/v1` document. Returns how many survivor runs
+/// failed (the frontier and report still cover the siblings).
+///
+/// # Errors
+///
+/// Returns a printable message.
+pub fn sweep_main(
+    mini: bool,
+    epsilon: Option<f64>,
+    probe: Option<u64>,
+    report_path: Option<&str>,
+) -> Result<usize, String> {
+    let mut config = if mini { SweepConfig::miniature() } else { SweepConfig::grid() };
+    knobs::apply_sweep_env(&mut config);
+    if let Some(e) = epsilon {
+        config.epsilon = e;
+    }
+    if let Some(p) = probe {
+        config.probe_instructions = p;
+    }
+    eprintln!(
+        "{}: probing {} grid point(s) at {} instruction(s) each (epsilon {})",
+        config.name,
+        config.point_count(),
+        config.probe_instructions,
+        config.epsilon,
+    );
+    let start = Instant::now();
+    let outcome = config.run().map_err(|e| e.to_string())?;
+    println!(
+        "pruning: {} point(s) probed, {} pruned as epsilon-dominated, {} survivor(s) \
+         evaluated in full",
+        outcome.evaluated(),
+        outcome.pruned,
+        outcome.survivors(),
+    );
+    let rows: Vec<Vec<String>> = outcome
+        .frontier
+        .iter()
+        .map(|p| {
+            vec![
+                p.label.clone(),
+                f3(p.ipc),
+                format!("{:.1}", p.energy_pj),
+                format!("{:.3}", p.area_mm2),
+            ]
+        })
+        .collect();
+    println!("\nPareto frontier ({} point(s), IPC vs energy vs area):", rows.len());
+    println!("{}", format_table(&["config", "ipc", "energy_pj", "area_mm2"], &rows));
+    eprintln!("sweep finished in {:.1}s", start.elapsed().as_secs_f64());
+    if let Some(path) = report_path {
+        std::fs::write(path, outcome.report_value().to_pretty())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("report written to {path} ({})", scenario::REPORT_SCHEMA);
+    }
+    for failure in &outcome.study.failures {
+        eprintln!(
+            "failed: {}/{} (seed {}) [{}] after {} attempt(s): {}",
+            failure.label,
+            failure.workload,
+            failure.seed,
+            failure.error.status(),
+            failure.attempts,
+            failure.error,
+        );
+    }
+    Ok(outcome.study.failures.len())
+}
 
 /// Entry point of the `lnuca` binary: runs one subcommand, returns the
 /// process exit code.
@@ -909,6 +1028,99 @@ pub fn cli_main(args: &[String]) -> i32 {
             }
             i32::from(failed)
         }
+        "ingest" => {
+            let mut input: Option<&String> = None;
+            let mut output: Option<String> = None;
+            let mut iter = rest.iter();
+            while let Some(arg) = iter.next() {
+                if arg == "--output" || arg == "-o" {
+                    match iter.next() {
+                        Some(path) => output = Some(path.clone()),
+                        None => {
+                            eprintln!("error: --output needs a path\n{USAGE}");
+                            return 2;
+                        }
+                    }
+                } else if input.is_none() {
+                    input = Some(arg);
+                } else {
+                    eprintln!("error: `lnuca ingest` converts exactly one dump\n{USAGE}");
+                    return 2;
+                }
+            }
+            let Some(input) = input else {
+                eprintln!("error: `lnuca ingest` needs an input dump\n{USAGE}");
+                return 2;
+            };
+            let output = output.unwrap_or_else(|| {
+                Path::new(input).with_extension("lnt").to_string_lossy().into_owned()
+            });
+            match ingest_dump(input, &output) {
+                Ok(summary) => {
+                    println!("{summary}");
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    1
+                }
+            }
+        }
+        "sweep" => {
+            let mut mini = false;
+            let mut epsilon: Option<f64> = None;
+            let mut probe: Option<u64> = None;
+            let mut report: Option<&str> = None;
+            let mut iter = rest.iter();
+            while let Some(arg) = iter.next() {
+                if arg == "--mini" {
+                    mini = true;
+                } else if arg == "--epsilon" {
+                    match iter.next().and_then(|raw| knobs::parse_epsilon(raw)) {
+                        Some(e) => epsilon = Some(e),
+                        None => {
+                            eprintln!(
+                                "error: --epsilon needs a finite relative margin >= 0\n{USAGE}"
+                            );
+                            return 2;
+                        }
+                    }
+                } else if arg == "--probe" {
+                    match iter.next().and_then(|raw| knobs::parse_u64(raw)).filter(|&v| v >= 1)
+                    {
+                        Some(p) => probe = Some(p),
+                        None => {
+                            eprintln!(
+                                "error: --probe needs an instruction budget >= 1\n{USAGE}"
+                            );
+                            return 2;
+                        }
+                    }
+                } else if arg == "--report" {
+                    match iter.next() {
+                        Some(path) => report = Some(path),
+                        None => {
+                            eprintln!("error: --report needs a path\n{USAGE}");
+                            return 2;
+                        }
+                    }
+                } else {
+                    eprintln!("error: unknown sweep argument {arg:?}\n{USAGE}");
+                    return 2;
+                }
+            }
+            match sweep_main(mini, epsilon, probe, report) {
+                Ok(0) => 0,
+                Ok(failures) => {
+                    eprintln!("error: {failures} survivor run(s) failed");
+                    1
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    1
+                }
+            }
+        }
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             0
@@ -956,6 +1168,57 @@ mod tests {
             2,
             "the file's edited configuration list survives resolution"
         );
+    }
+
+    #[test]
+    fn ingest_round_trips_a_textual_dump() {
+        let dir = std::env::temp_dir().join("lnuca-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let dump = dir.join("ingest-sample.txt");
+        let out = dir.join("ingest-sample.lnt");
+        std::fs::write(
+            &dump,
+            "# a tiny dump\nr 0x1000 0x400000\nw 4104 0x400004\nload 0x1010\n",
+        )
+        .unwrap();
+        let code = cli_main(&[
+            "ingest".to_owned(),
+            dump.to_str().unwrap().to_owned(),
+            "--output".to_owned(),
+            out.to_str().unwrap().to_owned(),
+        ]);
+        assert_eq!(code, 0);
+        let data = lnuca_workloads::TraceData::load(out.to_str().unwrap()).unwrap();
+        let records = data.decode_all().unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].addr, 0x1000);
+        assert!(records[1].write);
+        assert_eq!(records[2].pc, 0, "a missing pc column defaults to 0");
+
+        // A malformed line fails with its line number in the message.
+        std::fs::write(&dump, "r 0x1000\nnot-a-kind 12\n").unwrap();
+        let err = ingest_dump(dump.to_str().unwrap(), out.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("line 2"), "line numbers survive to the CLI: {err}");
+    }
+
+    #[test]
+    fn ingest_and_sweep_flag_errors_are_usage_errors() {
+        assert_eq!(cli_main(&["ingest".to_owned()]), 2);
+        assert_eq!(
+            cli_main(&["ingest".to_owned(), "a.txt".to_owned(), "--output".to_owned()]),
+            2
+        );
+        assert_eq!(
+            cli_main(&["sweep".to_owned(), "--epsilon".to_owned(), "-1".to_owned()]),
+            2,
+            "a negative epsilon is rejected before anything runs"
+        );
+        assert_eq!(
+            cli_main(&["sweep".to_owned(), "--probe".to_owned(), "0".to_owned()]),
+            2,
+            "a zero probe budget is rejected before anything runs"
+        );
+        assert_eq!(cli_main(&["sweep".to_owned(), "--frontier".to_owned()]), 2);
     }
 
     #[test]

@@ -28,8 +28,15 @@
 //! address), `LNUCA_QUEUE_DEPTH` (admission-control bound) and
 //! `LNUCA_SERVE_WORKERS` (persistent worker count). Command-line flags of
 //! `lnuca-serve` override them.
+//!
+//! The design-space autopilot (DESIGN.md §16) adds two sweep knobs:
+//! `LNUCA_SWEEP_EPSILON` (the relative dominance margin ε of the pruning
+//! stage) and `LNUCA_SWEEP_PROBE` (the probe-stage instruction budget),
+//! applied by [`apply_sweep_env`] together with the regular [`apply_env`]
+//! layer over the survivor-stage options.
 
 use lnuca_sim::experiments::{ExperimentOptions, WorkloadSelection};
+use lnuca_sim::sweep::SweepConfig;
 use lnuca_sim::system::Engine;
 use std::collections::BTreeSet;
 use std::sync::Mutex;
@@ -106,6 +113,26 @@ pub fn parse_workloads(raw: &str) -> Option<WorkloadSelection> {
     } else {
         Some(WorkloadSelection::Named(names))
     }
+}
+
+/// Parses an `LNUCA_BENCHMARKS_PER_SUITE` value: a per-suite cap of at
+/// least 1. Parsed directly as `usize` — the old path went through `u64`
+/// and an `as usize` cast, which silently truncated huge values on 32-bit
+/// targets — and `0` is rejected rather than quietly emptying every suite.
+#[must_use]
+pub fn parse_benchmarks(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+/// Parses an `LNUCA_SWEEP_EPSILON` value: a finite relative dominance
+/// margin `>= 0` (`0` = plain Pareto dominance). `None` for negative,
+/// non-finite or unparseable values.
+#[must_use]
+pub fn parse_epsilon(raw: &str) -> Option<f64> {
+    raw.trim()
+        .parse::<f64>()
+        .ok()
+        .filter(|e| e.is_finite() && *e >= 0.0)
 }
 
 /// Parses an `LNUCA_BATCH` value: a batch size of at least 1, or
@@ -206,8 +233,15 @@ pub fn apply_env(opts: &mut ExperimentOptions) {
     if let Some(v) = env_u64("LNUCA_INSTRUCTIONS") {
         opts.instructions = v;
     }
-    if let Some(v) = env_u64("LNUCA_BENCHMARKS_PER_SUITE") {
-        opts.benchmarks_per_suite = Some(v as usize);
+    if let Ok(raw) = std::env::var("LNUCA_BENCHMARKS_PER_SUITE") {
+        match parse_benchmarks(&raw) {
+            Some(n) => opts.benchmarks_per_suite = Some(n),
+            None => warn_malformed(
+                "LNUCA_BENCHMARKS_PER_SUITE",
+                &raw,
+                "a per-suite benchmark count >= 1",
+            ),
+        }
     }
     if let Some(v) = env_u64("LNUCA_SEED") {
         opts.seed = v;
@@ -260,6 +294,32 @@ pub fn apply_env(opts: &mut ExperimentOptions) {
         None if opts.threads == 0 => default_threads(),
         None => opts.threads,
     };
+}
+
+/// Applies the environment layer on top of a sweep configuration:
+/// `LNUCA_SWEEP_EPSILON` and `LNUCA_SWEEP_PROBE` override the grid
+/// defaults (malformed values warn once, like every knob), and the
+/// survivor-stage options go through [`apply_env`] like any experiment —
+/// so e.g. `LNUCA_INSTRUCTIONS` scales the expensive stage of a sweep the
+/// same way it scales a plain run.
+pub fn apply_sweep_env(sweep: &mut SweepConfig) {
+    if let Ok(raw) = std::env::var("LNUCA_SWEEP_EPSILON") {
+        match parse_epsilon(&raw) {
+            Some(epsilon) => sweep.epsilon = epsilon,
+            None => warn_malformed(
+                "LNUCA_SWEEP_EPSILON",
+                &raw,
+                "a finite relative margin >= 0 (e.g. 0.02)",
+            ),
+        }
+    }
+    if let Ok(raw) = std::env::var("LNUCA_SWEEP_PROBE") {
+        match parse_u64(&raw) {
+            Some(v) if v >= 1 => sweep.probe_instructions = v,
+            _ => warn_malformed("LNUCA_SWEEP_PROBE", &raw, "a probe instruction budget >= 1"),
+        }
+    }
+    apply_env(&mut sweep.options);
 }
 
 /// Builds [`ExperimentOptions`] from the `LNUCA_*` environment variables
@@ -325,6 +385,44 @@ mod tests {
         assert_eq!(parse_batch("0"), None, "a zero batch is meaningless");
         assert_eq!(parse_batch("-2"), None);
         assert_eq!(parse_batch("wide"), None);
+    }
+
+    #[test]
+    fn benchmark_counts_parse_without_truncation() {
+        assert_eq!(parse_benchmarks("1"), Some(1));
+        assert_eq!(parse_benchmarks(" 12 "), Some(12));
+        assert_eq!(parse_benchmarks("0"), None, "a zero cap would empty every suite");
+        assert_eq!(parse_benchmarks("-1"), None);
+        assert_eq!(
+            parse_benchmarks("36893488147419103232"), // 2^65: would truncate to 0 via `as usize`
+            None,
+            "counts beyond usize are rejected, not truncated"
+        );
+    }
+
+    #[test]
+    fn epsilon_values_parse_with_range_checks() {
+        assert_eq!(parse_epsilon("0.02"), Some(0.02));
+        assert_eq!(parse_epsilon(" 0 "), Some(0.0), "0 means plain Pareto dominance");
+        assert_eq!(parse_epsilon("-0.1"), None, "a negative margin is meaningless");
+        assert_eq!(parse_epsilon("inf"), None);
+        assert_eq!(parse_epsilon("NaN"), None);
+        assert_eq!(parse_epsilon("two percent"), None);
+    }
+
+    #[test]
+    fn sweep_env_layer_keeps_the_grid_defaults_when_unset() {
+        if std::env::var("LNUCA_SWEEP_EPSILON").is_ok()
+            || std::env::var("LNUCA_SWEEP_PROBE").is_ok()
+        {
+            return; // the env layer would legitimately move the defaults
+        }
+        let mut sweep = SweepConfig::miniature();
+        let (epsilon, probe) = (sweep.epsilon, sweep.probe_instructions);
+        apply_sweep_env(&mut sweep);
+        assert_eq!(sweep.epsilon, epsilon);
+        assert_eq!(sweep.probe_instructions, probe);
+        assert!(sweep.options.threads >= 1, "thread auto-resolution still runs");
     }
 
     #[test]

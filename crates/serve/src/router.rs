@@ -227,7 +227,10 @@ fn respond_submission(
                 "error",
                 Value::String("queue full — admission control refused the job".to_owned()),
             )]);
-            let retry = retry_after_secs.to_string();
+            // Belt-and-braces: whatever ETA the service computed, the wire
+            // never carries `Retry-After: 0` — clients read that as "retry
+            // immediately" and hammer a queue that is by definition full.
+            let retry = retry_after_secs.max(1).to_string();
             respond_json(stream, 429, &[("retry-after", retry.as_str())], &body);
         }
         Submission::Draining => {

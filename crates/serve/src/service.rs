@@ -217,6 +217,14 @@ struct Inner {
     next_seq: u64,
 }
 
+/// Running total of completed-job wall time, the service-time estimate
+/// behind the `Retry-After` queue-drain ETA.
+#[derive(Default)]
+struct JobWallStats {
+    total_seconds: f64,
+    jobs: u64,
+}
+
 /// The daemon core. Construct with [`Server::start`], share as an `Arc`.
 pub struct Server {
     config: ServeConfig,
@@ -229,6 +237,7 @@ pub struct Server {
     done: Condvar,
     workers: Mutex<Vec<JoinHandle<()>>>,
     baseline_records: Mutex<Vec<BaselineRecord>>,
+    job_wall: Mutex<JobWallStats>,
     started: Instant,
 }
 
@@ -250,6 +259,7 @@ impl Server {
             done: Condvar::new(),
             workers: Mutex::new(Vec::new()),
             baseline_records: Mutex::new(Vec::new()),
+            job_wall: Mutex::new(JobWallStats::default()),
             started: Instant::now(),
             config,
         });
@@ -351,8 +361,10 @@ impl Server {
         }
         if inner.queue.len() >= self.config.queue_depth {
             Metrics::bump(&self.metrics.rejected_total);
+            let queued = inner.queue.len();
+            drop(inner);
             return Submission::Busy {
-                retry_after_secs: 1,
+                retry_after_secs: self.retry_after_secs(queued),
             };
         }
         let id = inner.next_id;
@@ -574,6 +586,23 @@ impl Server {
         }
     }
 
+    /// Suggested `Retry-After` for a refused submission: the queue-drain
+    /// ETA — `queued / workers` jobs ahead of the caller, each taking the
+    /// average wall time of the jobs completed so far — rounded **up** and
+    /// clamped to at least 1. The old hardcoded `1` under-advised loaded
+    /// daemons, and a naive `as u64` of a sub-second ETA rounds down to
+    /// `Retry-After: 0`, which clients read as "retry immediately" and
+    /// turn into a hot retry loop against a still-full queue.
+    fn retry_after_secs(&self, queued: usize) -> u64 {
+        let wall = self.job_wall.lock().expect("job wall lock");
+        if wall.jobs == 0 {
+            return 1; // no service-time sample yet: nonzero, but optimistic
+        }
+        let avg = wall.total_seconds / wall.jobs as f64;
+        let eta = queued as f64 / self.config.workers.max(1) as f64 * avg;
+        (eta.ceil() as u64).max(1)
+    }
+
     fn worker_loop(self: Arc<Server>, index: usize) {
         while let Some(work) = self.claim() {
             self.metrics.inflight_jobs.fetch_add(1, Ordering::Relaxed);
@@ -604,6 +633,13 @@ impl Server {
             Study::run_controlled(&plan, journal_path.as_deref(), true, &stop)
         }));
         let wall_seconds = started.elapsed().as_secs_f64();
+        {
+            // Every job that ran — even a failed one — is a service-time
+            // sample for the Retry-After queue-drain ETA.
+            let mut wall = self.job_wall.lock().expect("job wall lock");
+            wall.total_seconds += wall_seconds;
+            wall.jobs += 1;
+        }
         match result {
             Err(payload) => {
                 // The per-run supervision inside the study already contains

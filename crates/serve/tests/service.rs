@@ -184,7 +184,9 @@ fn admission_control_rejects_work_past_the_queue_bound() {
     let q1 = accepted_id(server.submit_document(&doc(101, 5_000), 0));
     let q2 = accepted_id(server.submit_document(&doc(102, 5_000), 0));
     match server.submit_document(&doc(103, 5_000), 0) {
-        Submission::Busy { retry_after_secs } => assert!(retry_after_secs >= 1),
+        // No job has completed yet, so there is no service-time sample for
+        // the drain ETA; the advice must still be the nonzero floor.
+        Submission::Busy { retry_after_secs } => assert_eq!(retry_after_secs, 1),
         other => panic!("expected Busy at the bound, got {other:?}"),
     }
     let rejected = server
@@ -195,6 +197,23 @@ fn admission_control_rejects_work_past_the_queue_bound() {
 
     // The refused submission cost nothing: everything admitted completes.
     for id in [slow, q1, q2] {
+        assert_eq!(wait_terminal(&server, id).state, JobState::Done);
+    }
+
+    // With completed-job samples on record, the average wall time of these
+    // tiny studies is far below a second — the drain ETA must round *up*
+    // to 1, never down to `Retry-After: 0` (the hot-retry-loop bug).
+    let slow2 = accepted_id(server.submit_document(&doc(110, 300_000), 0));
+    wait_running(&server, slow2);
+    let q3 = accepted_id(server.submit_document(&doc(111, 5_000), 0));
+    let q4 = accepted_id(server.submit_document(&doc(112, 5_000), 0));
+    match server.submit_document(&doc(113, 5_000), 0) {
+        Submission::Busy { retry_after_secs } => {
+            assert!(retry_after_secs >= 1, "a sub-second ETA clamps to 1, got {retry_after_secs}");
+        }
+        other => panic!("expected Busy at the bound, got {other:?}"),
+    }
+    for id in [slow2, q3, q4] {
         assert_eq!(wait_terminal(&server, id).state, JobState::Done);
     }
     server.begin_drain();

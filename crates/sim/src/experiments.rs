@@ -459,6 +459,20 @@ impl ExperimentPlanBuilder {
                 "an experiment plan needs at least one hierarchy configuration",
             ));
         }
+        if self.plan.options.batch_size == 0 {
+            return Err(ConfigError::new(
+                "options.batch_size",
+                "a zero-wide batch would simulate nothing; use 1 or more, or \
+                 usize::MAX for one full-width batch (the LNUCA_BATCH knob)",
+            ));
+        }
+        if self.plan.options.benchmarks_per_suite == Some(0) {
+            return Err(ConfigError::new(
+                "options.benchmarks_per_suite",
+                "a zero-benchmark cap would empty every suite; use 1 or more, \
+                 or None for all (the LNUCA_BENCHMARKS_PER_SUITE knob)",
+            ));
+        }
         let mut labels: Vec<String> = Vec::new();
         for spec in &self.plan.configs {
             spec.validate()?;
@@ -1281,6 +1295,31 @@ mod tests {
         // 2 configs x (1 INT + 1 FP + 1 adversarial) — the per-suite cap
         // applies to the adversarial group too.
         assert_eq!(study.results.len(), 2 * 3);
+    }
+
+    #[test]
+    fn zero_knobs_are_rejected_at_plan_validation() {
+        let spec = HierarchyKind::Conventional(configs::conventional()).to_spec();
+        let mut opts = ExperimentOptions::quick();
+        opts.batch_size = 0;
+        let err = ExperimentPlan::builder("zero-batch")
+            .config(spec.clone())
+            .options(opts)
+            .build()
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("batch_size"), "the offending knob is named: {err}");
+        assert!(err.contains("LNUCA_BATCH"), "the env spelling is named too: {err}");
+
+        let mut opts = ExperimentOptions::quick();
+        opts.benchmarks_per_suite = Some(0);
+        let err = ExperimentPlan::builder("zero-benchmarks")
+            .config(spec)
+            .options(opts)
+            .build()
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("benchmarks_per_suite"), "the offending knob is named: {err}");
     }
 
     #[test]

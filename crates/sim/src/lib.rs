@@ -68,6 +68,7 @@ pub mod report;
 pub mod scenario;
 pub mod spec;
 pub mod supervise;
+pub mod sweep;
 pub mod system;
 
 pub use batch::{BatchJob, BatchRunner};
@@ -76,4 +77,5 @@ pub use experiments::{ExperimentPlan, FailedRun, Study};
 pub use hierarchy::{ClassicHierarchy, HierarchyStats, LNucaHierarchy};
 pub use spec::{BackingSpec, HierarchySpec, IntermediateSpec};
 pub use supervise::{Budgets, StopSignal, Supervisor};
+pub use sweep::{SweepConfig, SweepOutcome};
 pub use system::{Engine, RunResult, System};

@@ -398,8 +398,15 @@ fn options_from_value(path: &str, value: &Value) -> Result<ExperimentOptions, Sc
     // `optional` maps JSON null to None, which here means "no cap" — the
     // field default — so null and absent coincide, as intended.
     if let Some(v) = fields.optional("benchmarks_per_suite") {
-        options.benchmarks_per_suite =
-            Some(expect_usize(&fields.child_path("benchmarks_per_suite"), v)?);
+        let path = fields.child_path("benchmarks_per_suite");
+        let n = expect_usize(&path, v)?;
+        if n == 0 {
+            return Err(ScenarioError::schema(
+                &path,
+                "must be at least 1 (omit or null to run every benchmark)",
+            ));
+        }
+        options.benchmarks_per_suite = Some(n);
     }
     if let Some(v) = fields.optional("workloads") {
         let path = fields.child_path("workloads");
@@ -434,7 +441,17 @@ fn options_from_value(path: &str, value: &Value) -> Result<ExperimentOptions, Sc
         };
     }
     override_usize(&mut fields, "threads", &mut options.threads)?;
-    override_usize(&mut fields, "batch_size", &mut options.batch_size)?;
+    if let Some(v) = fields.optional("batch_size") {
+        let path = fields.child_path("batch_size");
+        let n = expect_usize(&path, v)?;
+        if n == 0 {
+            return Err(ScenarioError::schema(
+                &path,
+                "must be at least 1 (a zero-wide batch would simulate nothing)",
+            ));
+        }
+        options.batch_size = n;
+    }
     // Watchdog knobs (DESIGN.md §14): null and absent both mean "off",
     // matching the field defaults.
     if let Some(v) = fields.optional("cycle_budget") {
@@ -1018,6 +1035,7 @@ pub fn builtin_names() -> Vec<&'static str> {
         "ablation-routing",
         "ln3-no-l3",
         "deep-stack",
+        "trace-replay",
     ]
 }
 
@@ -1184,6 +1202,32 @@ pub fn builtin(name: &str) -> Result<Scenario, UnknownNameError> {
                 plan,
             ))
         }
+        "trace-replay" => {
+            let mut options = ExperimentOptions::builder().instructions(20_000).build();
+            options.threads = 0;
+            // The committed sample corpus, repo-root-relative (the file is
+            // opened when the run starts, not when the scenario loads).
+            options.workloads =
+                WorkloadSelection::Named(vec!["scenarios/traces/sample.lnt".to_owned()]);
+            let plan = expect_plan(
+                ExperimentPlan::builder("trace-replay")
+                    .config(crate::configs::HierarchyKind::Conventional(configs::conventional()).to_spec())
+                    .config(
+                        HierarchySpec::builder()
+                            .fabric(LNucaConfig::paper(3).expect("3 levels is valid"))
+                            .backing_cache(configs::paper_l3())
+                            .build()
+                            .expect("paper LN3 is valid"),
+                    )
+                    .options(options)
+                    .build(),
+            );
+            Ok(scenario(
+                "Replay of the committed sample trace corpus (lnuca-trace/v1, built \
+                 by `lnuca ingest`) on the conventional baseline and LN3.",
+                plan,
+            ))
+        }
         other => Err(UnknownNameError::new("scenario", other, builtin_names())),
     }
 }
@@ -1298,83 +1342,246 @@ pub fn report_value(plan: &ExperimentPlan, study: &Study) -> Value {
     ])
 }
 
-/// Structurally validates an `lnuca-report/v1` document: schema marker,
-/// required top-level fields, and per-result required fields. Used by
+fn report_err(path: &str, message: impl std::fmt::Display) -> String {
+    format!("invalid report at {path}: {message}")
+}
+
+/// The report-side twin of [`Fields`]: tracks consumed members so unknown
+/// keys fail with their JSON path, exactly like the scenario parser — but
+/// with `invalid report at …` messages and `String` errors (the
+/// `check-report` surface).
+struct ReportFields<'a> {
+    path: String,
+    members: &'a [(String, Value)],
+    seen: Vec<bool>,
+}
+
+impl<'a> ReportFields<'a> {
+    fn new(path: impl Into<String>, value: &'a Value) -> Result<Self, String> {
+        let path = path.into();
+        let Some(members) = value.as_object() else {
+            return Err(report_err(
+                &path,
+                format!("expected an object, got {}", value.type_name()),
+            ));
+        };
+        Ok(ReportFields {
+            seen: vec![false; members.len()],
+            members,
+            path,
+        })
+    }
+
+    fn optional(&mut self, key: &str) -> Option<&'a Value> {
+        for (i, (k, v)) in self.members.iter().enumerate() {
+            if k == key {
+                self.seen[i] = true;
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn required(&mut self, key: &str) -> Result<&'a Value, String> {
+        self.optional(key)
+            .ok_or_else(|| report_err(&self.path, format!("missing required field {key:?}")))
+    }
+
+    fn child_path(&self, key: &str) -> String {
+        format!("{}.{key}", self.path)
+    }
+
+    fn string(&mut self, key: &str) -> Result<&'a str, String> {
+        let path = self.child_path(key);
+        let v = self.required(key)?;
+        v.as_str()
+            .ok_or_else(|| report_err(&path, format!("expected a string, got {}", v.type_name())))
+    }
+
+    fn uint(&mut self, key: &str) -> Result<u64, String> {
+        let path = self.child_path(key);
+        let v = self.required(key)?;
+        v.as_u64().ok_or_else(|| {
+            report_err(&path, format!("expected a non-negative integer, got {}", v.type_name()))
+        })
+    }
+
+    fn float(&mut self, key: &str) -> Result<f64, String> {
+        let path = self.child_path(key);
+        let v = self.required(key)?;
+        v.as_f64()
+            .ok_or_else(|| report_err(&path, format!("expected a number, got {}", v.type_name())))
+    }
+
+    fn array(&mut self, key: &str) -> Result<&'a [Value], String> {
+        let path = self.child_path(key);
+        let v = self.required(key)?;
+        v.as_array()
+            .ok_or_else(|| report_err(&path, format!("expected an array, got {}", v.type_name())))
+    }
+
+    /// Rejects any member that was never consumed, with the object's path.
+    fn finish(self) -> Result<(), String> {
+        let unknown: Vec<&str> = self
+            .members
+            .iter()
+            .zip(&self.seen)
+            .filter(|(_, seen)| !**seen)
+            .map(|((k, _), _)| k.as_str())
+            .collect();
+        if unknown.is_empty() {
+            Ok(())
+        } else {
+            Err(report_err(
+                &self.path,
+                format!("unknown field(s): {}", unknown.join(", ")),
+            ))
+        }
+    }
+}
+
+/// Validates one row of a flat summary table: the exact field set, every
+/// non-label field a number.
+fn validate_summary_rows(path: &str, rows: &[Value], fields: &[&str]) -> Result<(), String> {
+    for (i, row) in rows.iter().enumerate() {
+        let mut walker = ReportFields::new(format!("{path}[{i}]"), row)?;
+        walker.string("label")?;
+        for &field in fields {
+            walker.float(field)?;
+        }
+        walker.finish()?;
+    }
+    Ok(())
+}
+
+/// Structurally validates an `lnuca-report/v1` document: schema marker, the
+/// exact top-level field set, the exact per-row field sets of `results` and
+/// every summary table, and — when present — the `sweep` extension. Unknown
+/// fields anywhere fail with their JSON path, with the same strictness the
+/// scenario parser applies on the way in ([`Scenario::from_json`]). Used by
 /// `lnuca check-report` (and CI) to catch emission drift.
 ///
 /// # Errors
 ///
-/// Returns a description of the first violation.
+/// Returns a description of the first violation, carrying its JSON path.
 pub fn validate_report(value: &Value) -> Result<(), String> {
-    let object = value.as_object().ok_or("report root must be an object")?;
-    let get = |key: &str| {
-        object
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v)
-            .ok_or_else(|| format!("missing report field {key:?}"))
-    };
-    let schema = get("schema")?
-        .as_str()
-        .ok_or("report \"schema\" must be a string")?;
+    let mut root = ReportFields::new("$", value)?;
+    let schema = root.string("schema")?;
     if schema != REPORT_SCHEMA {
-        return Err(format!("expected schema {REPORT_SCHEMA:?}, got {schema:?}"));
+        return Err(report_err(
+            "$.schema",
+            format!("expected {REPORT_SCHEMA:?}, got {schema:?}"),
+        ));
     }
-    get("scenario")?
-        .as_str()
-        .ok_or("report \"scenario\" must be a string")?;
-    get("options")?
-        .as_object()
-        .ok_or("report \"options\" must be an object")?;
-    get("baseline")?
-        .as_str()
-        .ok_or("report \"baseline\" must be a string")?;
-    let configs = get("configs")?
-        .as_array()
-        .ok_or("report \"configs\" must be an array")?;
+    root.string("scenario")?;
+    // The options object is validated by the scenario parser itself — the
+    // exact same code that admits options on the way in — so the two layers
+    // cannot drift apart. Only the message prefix is adapted.
+    let options = root.required("options")?;
+    options_from_value("$.options", options).map_err(|e| match e {
+        ScenarioError::Schema { path, message } => report_err(&path, message),
+        other => report_err("$.options", other),
+    })?;
+    root.string("baseline")?;
+    let configs = root.array("configs")?;
     if configs.is_empty() {
-        return Err("report lists no configurations".to_owned());
+        return Err(report_err("$.configs", "report lists no configurations"));
     }
-    let results = get("results")?
-        .as_array()
-        .ok_or("report \"results\" must be an array")?;
-    if results.is_empty() {
-        return Err("report carries no results".to_owned());
-    }
-    for (i, result) in results.iter().enumerate() {
-        let row = result
-            .as_object()
-            .ok_or_else(|| format!("results[{i}] must be an object"))?;
-        let status = result
-            .get("status")
-            .ok_or_else(|| format!("results[{i}] misses \"status\""))?
-            .as_str()
-            .ok_or_else(|| format!("results[{i}] \"status\" must be a string"))?;
-        if !lnuca_types::RunError::is_known_status(status) {
-            return Err(format!(
-                "results[{i}] carries unknown status {status:?} (known: {})",
-                lnuca_types::RUN_STATUSES.join(", ")
+    for (i, config) in configs.iter().enumerate() {
+        if config.as_str().is_none() {
+            return Err(report_err(
+                &format!("$.configs[{i}]"),
+                format!("expected a string label, got {}", config.type_name()),
             ));
         }
+    }
+    let results = root.array("results")?;
+    if results.is_empty() {
+        return Err(report_err("$.results", "report carries no results"));
+    }
+    for (i, result) in results.iter().enumerate() {
+        let path = format!("$.results[{i}]");
+        let mut row = ReportFields::new(&path, result)?;
+        let status = row.string("status")?;
+        if !lnuca_types::RunError::is_known_status(status) {
+            return Err(report_err(
+                &row.child_path("status"),
+                format!(
+                    "unknown status {status:?} (known: {})",
+                    lnuca_types::RUN_STATUSES.join(", ")
+                ),
+            ));
+        }
+        row.string("label")?;
+        row.string("workload")?;
+        row.string("suite")?;
         // Completed rows carry the full measurement; failed rows carry the
-        // structured failure instead.
-        let required: &[&str] = if status == "ok" {
-            &["label", "workload", "suite", "instructions", "cycles", "ipc"]
+        // structured failure instead (DESIGN.md §14). Each shape is exact.
+        if status == "ok" {
+            row.uint("instructions")?;
+            row.uint("cycles")?;
+            row.float("ipc")?;
+            row.uint("memory_accesses")?;
+            row.uint("write_drains")?;
+            row.float("energy_total_pj")?;
         } else {
-            &["label", "workload", "suite", "seed", "error", "attempts"]
-        };
-        for key in required {
-            if !row.iter().any(|(k, _)| k == key) {
-                return Err(format!("results[{i}] misses {key:?}"));
+            row.uint("seed")?;
+            row.string("error")?;
+            row.uint("attempts")?;
+        }
+        row.finish()?;
+    }
+    validate_summary_rows(
+        "$.ipc_summary",
+        root.array("ipc_summary")?,
+        &["int_ipc", "fp_ipc", "int_gain_pct", "fp_gain_pct"],
+    )?;
+    validate_summary_rows(
+        "$.energy_summary",
+        root.array("energy_summary")?,
+        &["dynamic", "static_l1", "static_second", "static_last", "total"],
+    )?;
+    let hits = root.array("hit_distribution")?;
+    for (i, row) in hits.iter().enumerate() {
+        let path = format!("$.hit_distribution[{i}]");
+        let mut walker = ReportFields::new(&path, row)?;
+        walker.string("label")?;
+        walker.string("suite")?;
+        let levels = walker.array("level_percent")?;
+        for (j, level) in levels.iter().enumerate() {
+            if level.as_f64().is_none() {
+                return Err(report_err(
+                    &format!("{path}.level_percent[{j}]"),
+                    format!("expected a number, got {}", level.type_name()),
+                ));
             }
         }
+        walker.float("all_levels_percent")?;
+        walker.float("avg_to_min_transport")?;
+        walker.finish()?;
     }
-    for key in ["ipc_summary", "energy_summary", "hit_distribution"] {
-        get(key)?
-            .as_array()
-            .ok_or_else(|| format!("report {key:?} must be an array"))?;
+    // The optional sweep extension (`lnuca sweep`, DESIGN.md §16).
+    if let Some(sweep) = root.optional("sweep") {
+        let mut walker = ReportFields::new("$.sweep", sweep)?;
+        let evaluated = walker.uint("evaluated")?;
+        let pruned = walker.uint("pruned")?;
+        let survivors = walker.uint("survivors")?;
+        if pruned + survivors != evaluated {
+            return Err(report_err(
+                "$.sweep",
+                format!("pruned ({pruned}) + survivors ({survivors}) must equal evaluated ({evaluated})"),
+            ));
+        }
+        walker.float("epsilon")?;
+        walker.uint("probe_instructions")?;
+        let frontier = walker.array("frontier")?;
+        if frontier.is_empty() {
+            return Err(report_err("$.sweep.frontier", "a sweep always keeps at least one point"));
+        }
+        validate_summary_rows("$.sweep.frontier", frontier, &["ipc", "energy_pj", "area_mm2"])?;
+        walker.finish()?;
     }
-    Ok(())
+    root.finish()
 }
 
 #[cfg(test)]
@@ -1541,5 +1748,118 @@ mod tests {
         members.push(("configs".to_owned(), Value::Array(vec![])));
         let err = validate_report(&Value::Object(members)).unwrap_err();
         assert!(err.contains("no configurations"), "{err}");
+    }
+
+    /// A valid tiny report to mutate in the negative tests below.
+    fn tiny_report() -> Value {
+        let mut options = ExperimentOptions::quick();
+        options.instructions = 500;
+        options.benchmarks_per_suite = Some(1);
+        options.lnuca_levels = vec![2];
+        let plan = ExperimentPlan::paper_conventional(&options).unwrap();
+        let study = Study::run(&plan).unwrap();
+        report_value(&plan, &study)
+    }
+
+    fn push_field(value: &mut Value, path: &[&str], key: &str, v: Value) {
+        let Value::Object(members) = value else { panic!("expected object") };
+        if let [head, rest @ ..] = path {
+            let slot = members
+                .iter_mut()
+                .find(|(k, _)| k == head)
+                .map(|(_, v)| v)
+                .expect("path exists");
+            let target = if let Value::Array(items) = slot { &mut items[0] } else { slot };
+            push_field(target, rest, key, v);
+        } else {
+            members.push((key.to_owned(), v));
+        }
+    }
+
+    #[test]
+    fn report_validation_rejects_unknown_fields_with_their_path() {
+        // Top level.
+        let mut report = tiny_report();
+        push_field(&mut report, &[], "bogus", Value::Bool(true));
+        let err = validate_report(&report).unwrap_err();
+        assert!(err.contains("invalid report at $") && err.contains("bogus"), "{err}");
+
+        // Inside a result row — the path names the row.
+        let mut report = tiny_report();
+        push_field(&mut report, &["results"], "stray", Value::UInt(1));
+        let err = validate_report(&report).unwrap_err();
+        assert!(err.contains("$.results[0]") && err.contains("stray"), "{err}");
+
+        // Inside the options object — strictness parity with the scenario
+        // parser, which uses the very same walker.
+        let mut report = tiny_report();
+        push_field(&mut report, &["options"], "not_a_knob", Value::UInt(1));
+        let err = validate_report(&report).unwrap_err();
+        assert!(err.contains("$.options") && err.contains("not_a_knob"), "{err}");
+    }
+
+    #[test]
+    fn report_validation_checks_the_sweep_extension() {
+        let frontier_row = |label: &str| {
+            Value::Object(vec![
+                ("label".to_owned(), Value::String(label.to_owned())),
+                ("ipc".to_owned(), Value::Float(0.5)),
+                ("energy_pj".to_owned(), Value::Float(100.0)),
+                ("area_mm2".to_owned(), Value::Float(1.0)),
+            ])
+        };
+        let sweep = |evaluated: u64, pruned: u64, survivors: u64, frontier: Vec<Value>| {
+            Value::Object(vec![
+                ("evaluated".to_owned(), Value::UInt(evaluated)),
+                ("pruned".to_owned(), Value::UInt(pruned)),
+                ("survivors".to_owned(), Value::UInt(survivors)),
+                ("epsilon".to_owned(), Value::Float(0.02)),
+                ("probe_instructions".to_owned(), Value::UInt(1000)),
+                ("frontier".to_owned(), Value::Array(frontier)),
+            ])
+        };
+
+        let mut report = tiny_report();
+        push_field(&mut report, &[], "sweep", sweep(10, 6, 4, vec![frontier_row("a")]));
+        validate_report(&report).expect("a well-formed sweep extension validates");
+
+        // Inconsistent counts.
+        let mut report = tiny_report();
+        push_field(&mut report, &[], "sweep", sweep(10, 6, 5, vec![frontier_row("a")]));
+        let err = validate_report(&report).unwrap_err();
+        assert!(err.contains("$.sweep") && err.contains("must equal evaluated"), "{err}");
+
+        // Unknown field inside a frontier row, with its path.
+        let mut row = frontier_row("a");
+        push_field(&mut row, &[], "extra", Value::UInt(1));
+        let mut report = tiny_report();
+        push_field(&mut report, &[], "sweep", sweep(10, 6, 4, vec![row]));
+        let err = validate_report(&report).unwrap_err();
+        assert!(err.contains("$.sweep.frontier[0]") && err.contains("extra"), "{err}");
+    }
+
+    #[test]
+    fn zero_batch_and_zero_benchmarks_are_rejected_with_their_paths() {
+        let scenario_with_options = |options: &str| {
+            format!(
+                r#"{{"schema": "lnuca-scenario/v1", "name": "t",
+                     "options": {options},
+                     "configs": [{{"preset": "conventional"}}]}}"#
+            )
+        };
+        let err = Scenario::from_json(&scenario_with_options(r#"{"batch_size": 0}"#)).unwrap_err();
+        assert!(
+            err.to_string().contains("$.options.batch_size"),
+            "the error names the offending knob: {err}"
+        );
+        let err = Scenario::from_json(&scenario_with_options(r#"{"benchmarks_per_suite": 0}"#))
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("$.options.benchmarks_per_suite"),
+            "the error names the offending knob: {err}"
+        );
+        // 1 stays accepted.
+        Scenario::from_json(&scenario_with_options(r#"{"batch_size": 1, "benchmarks_per_suite": 1}"#))
+            .expect("nonzero values are valid");
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::instr::{Instr, InstrKind};
 use crate::profile::{AccessPattern, WorkloadProfile};
+use crate::trace::{TraceData, TraceReplay};
 use lnuca_types::Addr;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -51,6 +52,9 @@ pub struct TraceGenerator {
     chase_cursor: u64,
     /// Per-static-branch bias direction (true = usually taken).
     branch_directions: Vec<bool>,
+    /// Streaming reader over the ingested binary trace, present exactly for
+    /// [`AccessPattern::Trace`] profiles.
+    replay: Option<TraceReplay>,
     generated: u64,
 }
 
@@ -59,7 +63,9 @@ impl TraceGenerator {
     ///
     /// # Panics
     ///
-    /// Panics if the profile fails validation; construct profiles through
+    /// Panics if the profile fails validation, or — for an
+    /// [`AccessPattern::Trace`] profile — if the file at its `trace_path`
+    /// cannot be loaded as `lnuca-trace/v1`; construct profiles through
     /// [`WorkloadProfile::validate`]-checked paths (the built-in suites are
     /// always valid).
     #[must_use]
@@ -71,11 +77,24 @@ impl TraceGenerator {
         let branch_directions = (0..profile.static_branches)
             .map(|_| rng.gen_bool(0.5))
             .collect();
+        let replay = match profile.pattern {
+            AccessPattern::Trace => {
+                let path = profile
+                    .trace_path
+                    .as_deref()
+                    .expect("validation couples pattern `trace` to a trace_path");
+                let data = TraceData::load(path)
+                    .unwrap_or_else(|e| panic!("cannot replay trace {path:?}: {e}"));
+                Some(TraceReplay::new(data))
+            }
+            _ => None,
+        };
         TraceGenerator {
             last_addr: HOT_BASE,
             stream_cursor: 0,
             chase_cursor: 0,
             branch_directions,
+            replay,
             profile,
             rng,
             generated: 0,
@@ -148,6 +167,9 @@ impl TraceGenerator {
             AccessPattern::Streaming => self.next_streaming_block(),
             AccessPattern::Gups => self.next_gups_block(),
             AccessPattern::PhaseMix => unreachable!("active_pattern resolves the rotation"),
+            AccessPattern::Trace => {
+                unreachable!("trace profiles take the replay path, never the synthetic one")
+            }
         };
         self.last_addr = block * TRACE_BLOCK_BYTES;
         Addr(self.last_addr)
@@ -227,12 +249,59 @@ impl TraceGenerator {
             taken: if follows_bias { bias } else { !bias },
         }
     }
+
+    /// One instruction of an [`AccessPattern::Trace`] replay: the class draw
+    /// and the ALU/branch filler follow the profile's knobs like the
+    /// synthetic patterns, but every memory slot consumes the next trace
+    /// record, which dictates both the address and the load/store kind (so
+    /// `load_fraction + store_fraction` sets the memory density while the
+    /// trace sets everything else).
+    fn next_replay_instr(&mut self) -> Instr {
+        let memory_cut = self.profile.load_fraction + self.profile.store_fraction;
+        let branch_cut = memory_cut + self.profile.branch_fraction;
+        let fp_fraction = self.profile.fp_fraction;
+        let class = self.rng.gen::<f64>();
+        if class < memory_cut {
+            let record = self
+                .replay
+                .as_mut()
+                .expect("replay instructions only occur with a loaded trace")
+                .next_record();
+            Instr {
+                kind: if record.write { InstrKind::Store } else { InstrKind::Load },
+                addr: Some(Addr(record.addr)),
+                dep_distance: self.next_dep_distance(),
+            }
+        } else if class < branch_cut {
+            Instr {
+                kind: self.next_branch(),
+                addr: None,
+                dep_distance: self.next_dep_distance(),
+            }
+        } else {
+            let kind = if self.rng.gen_bool(fp_fraction) {
+                InstrKind::FpAlu
+            } else {
+                InstrKind::IntAlu
+            };
+            Instr {
+                kind,
+                addr: None,
+                dep_distance: self.next_dep_distance(),
+            }
+        }
+    }
 }
 
 impl Iterator for TraceGenerator {
     type Item = Instr;
 
     fn next(&mut self) -> Option<Instr> {
+        if self.replay.is_some() {
+            let instr = self.next_replay_instr();
+            self.generated += 1;
+            return Some(instr);
+        }
         let p = &self.profile;
         let class = self.rng.gen::<f64>();
         let load_cut = p.load_fraction;

@@ -33,7 +33,9 @@ pub mod generator;
 pub mod instr;
 pub mod profile;
 pub mod suites;
+pub mod trace;
 
 pub use generator::TraceGenerator;
 pub use instr::{Instr, InstrKind};
 pub use profile::{AccessPattern, Suite, WorkloadProfile};
+pub use trace::{IngestError, TraceData, TraceError, TraceRecord, TraceReplay};

@@ -60,6 +60,12 @@ pub enum AccessPattern {
     /// `PointerChase` and `Gups` every `phase_period` instructions,
     /// stressing residency turnover and the event-horizon engine.
     PhaseMix,
+    /// Replay of an ingested `lnuca-trace/v1` binary trace (see
+    /// [`crate::trace`]): memory addresses and read/write kinds come from
+    /// the file named by [`WorkloadProfile::trace_path`] (wrapping at the
+    /// end), while the non-memory instruction mix, branches and dependency
+    /// distances still follow the profile's knobs.
+    Trace,
 }
 
 impl AccessPattern {
@@ -72,6 +78,7 @@ impl AccessPattern {
             AccessPattern::Streaming => "streaming",
             AccessPattern::Gups => "gups",
             AccessPattern::PhaseMix => "phase-mix",
+            AccessPattern::Trace => "trace",
         }
     }
 }
@@ -158,6 +165,11 @@ pub struct WorkloadProfile {
     /// Walker stride in blocks for [`AccessPattern::Streaming`] (ignored by
     /// the other patterns).
     pub stream_stride_blocks: u64,
+    /// Path of the `lnuca-trace/v1` file replayed by
+    /// [`AccessPattern::Trace`]; must be `Some` exactly when the pattern is
+    /// `Trace`. The file is opened when a generator is constructed, not at
+    /// validation time.
+    pub trace_path: Option<String>,
 }
 
 impl WorkloadProfile {
@@ -228,6 +240,24 @@ impl WorkloadProfile {
         if self.stream_stride_blocks == 0 {
             return Err(ConfigError::new("stream_stride_blocks", "must be nonzero"));
         }
+        match (&self.pattern, &self.trace_path) {
+            (AccessPattern::Trace, None) => {
+                return Err(ConfigError::new(
+                    "trace_path",
+                    "pattern `trace` requires a trace_path",
+                ));
+            }
+            (AccessPattern::Trace, Some(path)) if path.is_empty() => {
+                return Err(ConfigError::new("trace_path", "must not be empty"));
+            }
+            (pattern, Some(_)) if *pattern != AccessPattern::Trace => {
+                return Err(ConfigError::new(
+                    "trace_path",
+                    format!("only pattern `trace` replays a file, this profile is `{}`", pattern.label()),
+                ));
+            }
+            _ => {}
+        }
         Ok(())
     }
 
@@ -268,6 +298,7 @@ impl Default for WorkloadProfile {
             pattern: AccessPattern::Regions,
             phase_period: 4_096,
             stream_stride_blocks: 1,
+            trace_path: None,
         }
     }
 }
@@ -377,6 +408,14 @@ impl WorkloadProfileBuilder {
         self
     }
 
+    /// Sets the trace file replayed by [`AccessPattern::Trace`] (pair with
+    /// `.pattern(AccessPattern::Trace)`; `build` enforces the coupling).
+    #[must_use]
+    pub fn trace_path(mut self, path: impl Into<String>) -> Self {
+        self.profile.trace_path = Some(path.into());
+        self
+    }
+
     /// Validates and produces the profile.
     ///
     /// # Errors
@@ -414,7 +453,17 @@ mod tests {
         assert!(WorkloadProfile { mean_dep_distance: 0.5, ..base.clone() }.validate().is_err());
         assert!(WorkloadProfile { phase_period: 0, ..base.clone() }.validate().is_err());
         assert!(WorkloadProfile { stream_stride_blocks: 0, ..base.clone() }.validate().is_err());
-        assert!(WorkloadProfile { branch_bias: -0.1, ..base }.validate().is_err());
+        assert!(WorkloadProfile { branch_bias: -0.1, ..base.clone() }.validate().is_err());
+        // pattern/trace_path coupling, both directions.
+        assert!(WorkloadProfile { pattern: AccessPattern::Trace, ..base.clone() }.validate().is_err());
+        assert!(WorkloadProfile {
+            pattern: AccessPattern::Trace,
+            trace_path: Some(String::new()),
+            ..base.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(WorkloadProfile { trace_path: Some("x.lnt".to_owned()), ..base }.validate().is_err());
     }
 
     #[test]
@@ -425,9 +474,10 @@ mod tests {
             AccessPattern::Streaming.label(),
             AccessPattern::Gups.label(),
             AccessPattern::PhaseMix.label(),
+            AccessPattern::Trace.label(),
         ];
         let unique: std::collections::HashSet<&str> = labels.into_iter().collect();
-        assert_eq!(unique.len(), 5);
+        assert_eq!(unique.len(), 6);
         assert_eq!(AccessPattern::default(), AccessPattern::Regions);
     }
 

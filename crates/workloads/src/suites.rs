@@ -176,6 +176,13 @@ pub fn extended() -> Vec<WorkloadProfile> {
 /// through the same type.
 pub fn by_name(name: &str) -> Result<WorkloadProfile, UnknownNameError> {
     let wanted = name.trim();
+    // A `.lnt` name is not a suite entry but an ingested binary trace: the
+    // profile replays the file at that path (opened when a generator is
+    // constructed). This is how scenarios and `LNUCA_WORKLOADS` reference
+    // trace-backed workloads.
+    if wanted.ends_with(".lnt") {
+        return Ok(crate::trace::trace_profile(wanted));
+    }
     let profiles = extended();
     match profiles.iter().find(|p| p.name.eq_ignore_ascii_case(wanted)) {
         Some(p) => Ok(p.clone()),

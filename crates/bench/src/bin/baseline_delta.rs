@@ -60,6 +60,41 @@ impl Baseline {
         let cycles: u64 = self.configurations.iter().map(|c| c.3).sum();
         (wall > 0.0 && cycles > 0).then(|| cycles as f64 / 1_000.0 / wall)
     }
+
+    /// Aggregate throughput split by the core count encoded in each
+    /// configuration label, sorted ascending — so the trajectory separates
+    /// single-core points from CMP ones (whose per-cycle work includes the
+    /// directory).
+    fn aggregate_kcps_by_cores(&self) -> Vec<(u64, f64)> {
+        let mut buckets: std::collections::BTreeMap<u64, (f64, u64)> =
+            std::collections::BTreeMap::new();
+        for (_, label, wall, cycles, _) in &self.configurations {
+            let slot = buckets.entry(core_count(label)).or_insert((0.0, 0));
+            slot.0 += wall;
+            slot.1 += cycles;
+        }
+        buckets
+            .into_iter()
+            .filter(|&(_, (wall, cycles))| wall > 0.0 && cycles > 0)
+            .map(|(cores, (wall, cycles))| (cores, cycles as f64 / 1_000.0 / wall))
+            .collect()
+    }
+}
+
+/// The core count a configuration label encodes: a leading `{N}x ` prefix
+/// (derived CMP labels, e.g. `4x LN2 + DN-4x8`) or `{N}x-` (sweep labels,
+/// e.g. `4x-LN2-t8k-rnd-l3-m1`); everything else is a single-core point.
+fn core_count(label: &str) -> u64 {
+    let digits = label.chars().take_while(char::is_ascii_digit).count();
+    if digits == 0 {
+        return 1;
+    }
+    let rest = &label[digits..];
+    if rest.starts_with("x ") || rest.starts_with("x-") {
+        label[..digits].parse().unwrap_or(1)
+    } else {
+        1
+    }
 }
 
 fn main() {
@@ -142,6 +177,37 @@ fn main() {
         "committed point: engine {}, batch size {}; fresh point: engine {}, batch size {}",
         committed.engine, committed.batch_size, fresh.engine, fresh.batch_size
     );
+    // Per-core-count aggregates: CMP configurations retire fewer cycles
+    // per second of wall time by design (N cores + a directory per
+    // cycle), so lumping them into one aggregate would mask single-core
+    // regressions behind multicore mix changes.
+    let old_by_cores = committed.aggregate_kcps_by_cores();
+    let new_by_cores = fresh.aggregate_kcps_by_cores();
+    if old_by_cores.len() > 1 || new_by_cores.len() > 1 {
+        let mut core_rows: Vec<Vec<String>> = Vec::new();
+        let mut counts: Vec<u64> = old_by_cores.iter().chain(&new_by_cores).map(|&(c, _)| c).collect();
+        counts.sort_unstable();
+        counts.dedup();
+        for cores in counts {
+            let old = old_by_cores.iter().find(|&&(c, _)| c == cores).map(|&(_, k)| k);
+            let new = new_by_cores.iter().find(|&&(c, _)| c == cores).map(|&(_, k)| k);
+            let ratio = match (old, new) {
+                (Some(o), Some(n)) if o > 0.0 => format!("{:.2}x", n / o),
+                _ => "—".to_owned(),
+            };
+            core_rows.push(vec![
+                cores.to_string(),
+                old.map_or("—".to_owned(), |k| format!("{k:.0}")),
+                new.map_or("—".to_owned(), |k| format!("{k:.0}")),
+                ratio,
+            ]);
+        }
+        println!("\nper-core-count aggregate throughput (kcycles/s):\n");
+        println!(
+            "{}",
+            format_table(&["cores", "committed", "fresh", "ratio (fresh/committed)"], &core_rows)
+        );
+    }
     if let (Some(old_kcps), Some(new_kcps)) = (committed.aggregate_kcps(), fresh.aggregate_kcps()) {
         let context = if committed.batch_size == fresh.batch_size {
             String::new()

@@ -689,6 +689,19 @@ pub fn all_experiments_main() {
     println!("== Fig. 5(b) — total energy normalised to DN-4x8 ==\n");
     print_energy(&dnuca);
 
+    // The CMP sharing study (DESIGN.md §17) joins the perf trajectory so
+    // `baseline_delta` tracks coherent multicore throughput separately
+    // from the single-core points.
+    let cmp_scenario = ResolvedScenario {
+        scenario: scenario::builtin("cmp-sharing").expect("builtin exists"),
+        from_registry: true,
+    };
+    let cmp_plan = resolved_plan(&cmp_scenario).expect("layered options are valid");
+    let (cmp, cmp_wall) = run_plan(&cmp_plan).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+
     let studies = [
         baseline::StudyPerf {
             name: "conventional",
@@ -699,6 +712,11 @@ pub fn all_experiments_main() {
             name: "dnuca",
             wall_seconds: dnuca_wall,
             runs: &dnuca.perf,
+        },
+        baseline::StudyPerf {
+            name: "cmp",
+            wall_seconds: cmp_wall,
+            runs: &cmp.perf,
         },
     ];
     print_throughput(&studies);
@@ -751,12 +769,15 @@ USAGE:
                                         convert a textual access dump (one
                                         `<r|w> <addr> [pc]` per line, `#`
                                         comments, decimal or 0x hex) into a
-                                        compact lnuca-trace/v1 file; a
-                                        malformed line fails with its line
-                                        number; the default output replaces
-                                        the input extension with .lnt; the
-                                        result replays through any workload
-                                        slot that names the .lnt path
+                                        compact lnuca-trace/v1 file;
+                                        Valgrind lackey --trace-mem dumps
+                                        (`I`/`L`/`S`/`M addr,size` lines)
+                                        are auto-detected; a malformed line
+                                        fails with its line number; the
+                                        default output replaces the input
+                                        extension with .lnt; the result
+                                        replays through any workload slot
+                                        that names the .lnt path
     lnuca sweep [--mini] [--epsilon E] [--probe N] [--report PATH]
                                         expand the design-space grid (tile
                                         size x levels x routing x backing x
@@ -1199,6 +1220,36 @@ mod tests {
         std::fs::write(&dump, "r 0x1000\nnot-a-kind 12\n").unwrap();
         let err = ingest_dump(dump.to_str().unwrap(), out.to_str().unwrap()).unwrap_err();
         assert!(err.contains("line 2"), "line numbers survive to the CLI: {err}");
+    }
+
+    #[test]
+    fn ingest_round_trips_a_lackey_dump() {
+        let dir = std::env::temp_dir().join("lnuca-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let dump = dir.join("ingest-lackey.txt");
+        let out = dir.join("ingest-lackey.lnt");
+        std::fs::write(
+            &dump,
+            "==99== Lackey banner\nI  400d7d4,4\n L 4f0a828,8\n M 421b7f0,4\n",
+        )
+        .unwrap();
+        let code = cli_main(&[
+            "ingest".to_owned(),
+            dump.to_str().unwrap().to_owned(),
+            "--output".to_owned(),
+            out.to_str().unwrap().to_owned(),
+        ]);
+        assert_eq!(code, 0);
+        let records = lnuca_workloads::TraceData::load(out.to_str().unwrap())
+            .unwrap()
+            .decode_all()
+            .unwrap();
+        assert_eq!(records.len(), 3, "M expands to load + store");
+        assert_eq!(records[0].addr, 0x4f0_a828);
+        assert_eq!(records[0].pc, 0x400_d7d4, "the preceding fetch sets the pc");
+        assert!(!records[1].write);
+        assert!(records[2].write);
+        assert_eq!(records[1].addr, records[2].addr);
     }
 
     #[test]

@@ -96,6 +96,34 @@ pub enum ProbeEvent {
         /// Block address of the drained write.
         addr: Addr,
     },
+    /// One demand access admitted by a CMP core's private domain and the
+    /// MSI directory (DESIGN.md §17). Single-core hierarchies never emit
+    /// this; the coherence oracle in `lnuca-verify` replays the stream.
+    CoherentAccess {
+        /// Issuing core index.
+        core: u8,
+        /// Requested address.
+        addr: Addr,
+        /// `true` for stores.
+        is_write: bool,
+        /// `true` when the private domain already held the block with
+        /// sufficient permission (read: any copy; write: owned Modified).
+        hit: bool,
+    },
+    /// A block dropped out of a CMP core's private domain by capacity
+    /// pressure (the directory is told the core no longer holds it).
+    CoherentEvict {
+        /// Core whose private domain shrank.
+        core: u8,
+        /// Block address of the dropped line.
+        addr: Addr,
+    },
+    /// A directory recall: the fixed-slot directory displaced this line to
+    /// make room, invalidating every private copy in one stroke.
+    CoherentRecall {
+        /// Block address of the recalled line.
+        addr: Addr,
+    },
 }
 
 /// A consumer of [`ProbeEvent`]s.
@@ -168,6 +196,14 @@ impl ProbeSink for CountingProbe {
             ProbeEvent::RootVictim { .. } => self.root_victims += 1,
             ProbeEvent::Spill { .. } => self.spills += 1,
             ProbeEvent::WriteDrain { .. } => self.write_drains += 1,
+            ProbeEvent::CoherentAccess { hit, .. } => {
+                if hit {
+                    self.hits += 1;
+                } else {
+                    self.misses += 1;
+                }
+            }
+            ProbeEvent::CoherentEvict { .. } | ProbeEvent::CoherentRecall { .. } => {}
         }
     }
 }

@@ -45,6 +45,17 @@ pub struct Metrics {
     pub cache_evictions_total: AtomicU64,
     /// Simulated cycles retired by completed jobs.
     pub simulated_cycles_total: AtomicU64,
+    /// MSI directory transactions (reads + writes) of CMP runs, summed
+    /// over completed jobs. Single-core jobs contribute nothing.
+    pub coherence_transactions_total: AtomicU64,
+    /// MSI invalidations sent to private caches, summed over completed
+    /// jobs.
+    pub coherence_invalidations_total: AtomicU64,
+    /// Dirty-line writebacks the MSI protocol drained, summed over
+    /// completed jobs.
+    pub coherence_writebacks_total: AtomicU64,
+    /// Fixed-slot directory capacity recalls, summed over completed jobs.
+    pub coherence_recalls_total: AtomicU64,
     /// Current queued (admitted, not yet running) jobs.
     pub queue_depth: AtomicU64,
     /// The configured admission bound (constant gauge, for dashboards).
@@ -140,6 +151,26 @@ impl Metrics {
                 &self.simulated_cycles_total,
                 "simulated cycles retired by completed jobs",
             ),
+            (
+                "lnuca_serve_coherence_transactions_total",
+                &self.coherence_transactions_total,
+                "MSI directory transactions of CMP runs",
+            ),
+            (
+                "lnuca_serve_coherence_invalidations_total",
+                &self.coherence_invalidations_total,
+                "MSI invalidations sent to private caches",
+            ),
+            (
+                "lnuca_serve_coherence_writebacks_total",
+                &self.coherence_writebacks_total,
+                "dirty-line writebacks drained by the MSI protocol",
+            ),
+            (
+                "lnuca_serve_coherence_recalls_total",
+                &self.coherence_recalls_total,
+                "fixed-slot directory capacity recalls",
+            ),
         ];
         for (name, value, help) in counters {
             let _ = writeln!(out, "# HELP {name} {help}");
@@ -197,6 +228,10 @@ mod tests {
         assert!(text.contains("lnuca_serve_worker_kcycles_per_sec{worker=\"0\"} 0.000"));
         assert!(text.contains("lnuca_serve_worker_kcycles_per_sec{worker=\"1\"} 1234.500"));
         assert!(text.contains("# TYPE lnuca_serve_requests_total counter"));
+        assert!(text.contains("# TYPE lnuca_serve_coherence_transactions_total counter"));
+        assert!(text.contains("lnuca_serve_coherence_invalidations_total 0"));
+        assert!(text.contains("lnuca_serve_coherence_writebacks_total 0"));
+        assert!(text.contains("lnuca_serve_coherence_recalls_total 0"));
         assert!(text.contains("# TYPE lnuca_serve_queue_depth gauge"));
         assert!(text.contains("lnuca_serve_cache_hit_ratio 0.000000"));
     }

@@ -662,6 +662,26 @@ impl Server {
                 self.metrics
                     .simulated_cycles_total
                     .fetch_add(cycles, Ordering::Relaxed);
+                // CMP jobs additionally feed the coherence counters
+                // (single-core results carry no coherence block).
+                let mut transactions = 0u64;
+                let mut invalidations = 0u64;
+                let mut writebacks = 0u64;
+                let mut recalls = 0u64;
+                for c in study.results.iter().filter_map(|r| r.coherence.as_ref()) {
+                    transactions += c.reads + c.writes;
+                    invalidations += c.invalidations_sent;
+                    writebacks += c.writebacks;
+                    recalls += c.recalls;
+                }
+                for (counter, amount) in [
+                    (&self.metrics.coherence_transactions_total, transactions),
+                    (&self.metrics.coherence_invalidations_total, invalidations),
+                    (&self.metrics.coherence_writebacks_total, writebacks),
+                    (&self.metrics.coherence_recalls_total, recalls),
+                ] {
+                    counter.fetch_add(amount, Ordering::Relaxed);
+                }
                 if wall_seconds > 0.0 {
                     self.metrics
                         .record_worker_rate(index, cycles as f64 / 1_000.0 / wall_seconds);

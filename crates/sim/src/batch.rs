@@ -73,12 +73,68 @@ pub struct BatchJob<'a> {
     pub seed: u64,
 }
 
+/// The simulated components of one member: a single-core hierarchy+core
+/// pair, or a whole CMP machine when the member's spec has `cores > 1`.
+/// Both expose the same tick/horizon/finish surface, so [`advance`] and
+/// [`retire`] replicate the corresponding solo loop either way.
+enum Machine<P: ProbeSink> {
+    Solo {
+        hierarchy: AnyHierarchy<P>,
+        core: OooCore<std::iter::Take<TraceGenerator>>,
+    },
+    Cmp(crate::cmp::CmpMachine<P>),
+}
+
+impl<P: ProbeSink> Machine<P> {
+    fn is_finished(&self) -> bool {
+        match self {
+            Machine::Solo { core, .. } => core.is_finished(),
+            Machine::Cmp(m) => m.is_finished(),
+        }
+    }
+
+    fn committed(&self) -> u64 {
+        match self {
+            Machine::Solo { core, .. } => core.committed(),
+            Machine::Cmp(m) => m.committed(),
+        }
+    }
+
+    fn tick(&mut self, now: Cycle) {
+        match self {
+            Machine::Solo { hierarchy, core } => {
+                hierarchy.tick(now);
+                core.tick(now, hierarchy);
+            }
+            Machine::Cmp(m) => m.tick(now),
+        }
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        match self {
+            Machine::Solo { hierarchy, core } => {
+                match (hierarchy.next_event(now), core.next_event(now)) {
+                    (Some(h), Some(c)) => Some(h.min(c)),
+                    (h, c) => h.or(c),
+                }
+            }
+            Machine::Cmp(m) => m.next_event(now),
+        }
+    }
+
+    fn into_hierarchy(self) -> AnyHierarchy<P> {
+        match self {
+            Machine::Solo { hierarchy, .. } => hierarchy,
+            Machine::Cmp(m) => AnyHierarchy::Cmp(m.into_memory()),
+        }
+    }
+}
+
 /// One in-flight member: its components plus its private clock. The clock
 /// always holds the `now` value the member's solo run loop would see at
 /// the top of its next iteration.
 struct Member<P: ProbeSink> {
-    hierarchy: AnyHierarchy<P>,
-    core: OooCore<std::iter::Take<TraceGenerator>>,
+    machine: Machine<P>,
     workload: String,
     suite: Suite,
     /// Safety cap, identical to the solo loop's
@@ -162,13 +218,23 @@ impl<P: ProbeSink> BatchRunner<P> {
         let members = slab.scoped(|| -> Result<Vec<Member<P>>, ConfigError> {
             let mut members = Vec::with_capacity(jobs.len());
             for (idx, job) in jobs.iter().enumerate() {
-                let hierarchy = System::build_spec_probed(job.spec, probe())?;
-                let trace = TraceGenerator::new(job.profile.clone(), job.seed)
-                    .take(usize::try_from(job.instructions).unwrap_or(usize::MAX));
-                let core = OooCore::new(CoreConfig::paper(), trace)?;
+                let machine = if job.spec.cores > 1 {
+                    Machine::Cmp(crate::cmp::CmpMachine::from_spec(
+                        job.spec,
+                        job.profile,
+                        job.instructions,
+                        job.seed,
+                        probe(),
+                    )?)
+                } else {
+                    let hierarchy = System::build_spec_probed(job.spec, probe())?;
+                    let trace = TraceGenerator::new(job.profile.clone(), job.seed)
+                        .take(usize::try_from(job.instructions).unwrap_or(usize::MAX));
+                    let core = OooCore::new(CoreConfig::paper(), trace)?;
+                    Machine::Solo { hierarchy, core }
+                };
                 members.push(Member {
-                    hierarchy,
-                    core,
+                    machine,
                     workload: job.profile.name.clone(),
                     suite: job.profile.suite,
                     cap: job.instructions.saturating_mul(400) + 1_000_000,
@@ -194,7 +260,7 @@ impl<P: ProbeSink> BatchRunner<P> {
             // already finished (or capped) at cycle 0 retires without a
             // single tick, exactly as the solo `while` would never run.
             let member = &mut runner.members[idx];
-            if member.core.is_finished() || member.now.0 >= member.cap {
+            if member.machine.is_finished() || member.now.0 >= member.cap {
                 retire(member);
             } else {
                 runner.heap.push(Reverse((member.now.0, idx)));
@@ -304,7 +370,7 @@ impl<P: ProbeSink> BatchRunner<P> {
                     Some(err) => Err(err),
                     None => Ok(m.done.expect("stepping retired every non-failed member")),
                 };
-                (outcome, m.hierarchy)
+                (outcome, m.machine.into_hierarchy())
             })
             .collect()
     }
@@ -337,24 +403,21 @@ fn advance<P: ProbeSink>(member: &mut Member<P>, engine: Engine) -> Advance {
     if let Some(guard) = member.guard.as_mut() {
         // Same observation point as the solo guarded loop, so a watchdog
         // trips at the same cycle batched as solo.
-        if let Err(err) = guard.observe(now, member.core.committed()) {
+        if let Err(err) = guard.observe(now, member.machine.committed()) {
             return Advance::Failed(err);
         }
     }
-    member.hierarchy.tick(now);
-    member.core.tick(now, &mut member.hierarchy);
+    member.machine.tick(now);
     let next = match engine {
         Engine::CycleStep => now.next(),
         Engine::EventHorizon => {
-            if member.core.is_finished() {
+            if member.machine.is_finished() {
                 // Match the reference engine's final clock exactly.
                 now.next()
             } else {
-                let horizon = match (member.hierarchy.next_event(now), member.core.next_event(now)) {
-                    (Some(h), Some(c)) => Some(h.min(c)),
-                    (h, c) => h.or(c),
-                };
-                let next = horizon
+                let next = member
+                    .machine
+                    .next_event(now)
                     .unwrap_or(Cycle(cap))
                     .max(now.next())
                     .min(Cycle(cap).max(now.next()));
@@ -367,7 +430,7 @@ fn advance<P: ProbeSink>(member: &mut Member<P>, engine: Engine) -> Advance {
         }
     };
     member.now = next;
-    if !member.core.is_finished() && next.0 < cap {
+    if !member.machine.is_finished() && next.0 < cap {
         Advance::Continue(next)
     } else {
         Advance::Retired
@@ -378,20 +441,30 @@ fn advance<P: ProbeSink>(member: &mut Member<P>, engine: Engine) -> Advance {
 /// its [`RunResult`].
 fn retire<P: ProbeSink>(member: &mut Member<P>) {
     let now = member.now;
-    member.core.finalize_stats(now);
-    let stats = member.hierarchy.stats();
-    let energy = energy_model::account_for(&stats, now.0);
-    member.done = Some(RunResult {
-        label: stats.label.clone(),
-        workload: member.workload.clone(),
-        suite: member.suite,
-        instructions: member.core.committed(),
-        cycles: now.0,
-        ipc: member.core.stats().ipc(now),
-        core: *member.core.stats(),
-        hierarchy: stats,
-        energy,
-    });
+    match &mut member.machine {
+        Machine::Solo { hierarchy, core } => {
+            core.finalize_stats(now);
+            let stats = hierarchy.stats();
+            let energy = energy_model::account_for(&stats, now.0);
+            member.done = Some(RunResult {
+                label: stats.label.clone(),
+                workload: member.workload.clone(),
+                suite: member.suite,
+                instructions: core.committed(),
+                cycles: now.0,
+                ipc: core.stats().ipc(now),
+                core: *core.stats(),
+                hierarchy: stats,
+                energy,
+                per_core: Vec::new(),
+                coherence: None,
+            });
+        }
+        Machine::Cmp(machine) => {
+            machine.finalize(now);
+            member.done = Some(machine.result(now));
+        }
+    }
 }
 
 #[cfg(test)]

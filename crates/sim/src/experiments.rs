@@ -1266,8 +1266,8 @@ mod tests {
 
         opts.workloads = WorkloadSelection::Adversarial;
         let adv = conventional(&opts).unwrap();
-        // 2 configs x 4 adversarial classes.
-        assert_eq!(adv.results.len(), 2 * 4);
+        // 2 configs x 7 adversarial classes.
+        assert_eq!(adv.results.len(), 2 * 7);
         assert!(adv.results.iter().any(|r| r.workload == "adv.pointer_chase"));
 
         opts.workloads = WorkloadSelection::Named(vec![

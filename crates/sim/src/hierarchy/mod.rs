@@ -76,6 +76,10 @@ pub enum AnyHierarchy<P: ProbeSink = NoProbe> {
     Classic(ClassicHierarchy<P>),
     /// L-NUCA + (L3 or D-NUCA).
     LNuca(LNucaHierarchy<P>),
+    /// The memory side of a multicore run (private domains + shared
+    /// backing + MSI directory, DESIGN.md §17). Driven per core through
+    /// `crate::cmp::CoreView`s; its own [`DataMemory::issue`] rejects.
+    Cmp(crate::cmp::CmpMemory<P>),
 }
 
 impl<P: ProbeSink> AnyHierarchy<P> {
@@ -85,6 +89,7 @@ impl<P: ProbeSink> AnyHierarchy<P> {
         match self {
             AnyHierarchy::Classic(h) => h.stats(),
             AnyHierarchy::LNuca(h) => h.stats(),
+            AnyHierarchy::Cmp(h) => h.stats(),
         }
     }
 
@@ -94,6 +99,7 @@ impl<P: ProbeSink> AnyHierarchy<P> {
         match self {
             AnyHierarchy::Classic(h) => h.probe(),
             AnyHierarchy::LNuca(h) => h.probe(),
+            AnyHierarchy::Cmp(h) => h.probe(),
         }
     }
 
@@ -103,6 +109,7 @@ impl<P: ProbeSink> AnyHierarchy<P> {
         match self {
             AnyHierarchy::Classic(h) => h.into_probe(),
             AnyHierarchy::LNuca(h) => h.into_probe(),
+            AnyHierarchy::Cmp(h) => h.into_probe(),
         }
     }
 }
@@ -112,6 +119,7 @@ impl<P: ProbeSink> DataMemory for AnyHierarchy<P> {
         match self {
             AnyHierarchy::Classic(h) => h.issue(req, now),
             AnyHierarchy::LNuca(h) => h.issue(req, now),
+            AnyHierarchy::Cmp(h) => h.issue(req, now),
         }
     }
 
@@ -119,6 +127,7 @@ impl<P: ProbeSink> DataMemory for AnyHierarchy<P> {
         match self {
             AnyHierarchy::Classic(h) => h.drain_completions(now, out),
             AnyHierarchy::LNuca(h) => h.drain_completions(now, out),
+            AnyHierarchy::Cmp(h) => h.drain_completions(now, out),
         }
     }
 
@@ -126,6 +135,7 @@ impl<P: ProbeSink> DataMemory for AnyHierarchy<P> {
         match self {
             AnyHierarchy::Classic(h) => h.tick(now),
             AnyHierarchy::LNuca(h) => h.tick(now),
+            AnyHierarchy::Cmp(h) => h.tick(now),
         }
     }
 
@@ -133,6 +143,7 @@ impl<P: ProbeSink> DataMemory for AnyHierarchy<P> {
         match self {
             AnyHierarchy::Classic(h) => h.next_event(now),
             AnyHierarchy::LNuca(h) => h.next_event(now),
+            AnyHierarchy::Cmp(h) => h.next_event(now),
         }
     }
 }

@@ -343,8 +343,43 @@ fn hierarchy_stats_to_value(s: &crate::hierarchy::HierarchyStats) -> Value {
     ])
 }
 
-fn result_to_value(result: &RunResult) -> Value {
+fn core_row_to_value(row: &crate::cmp::CoreRow) -> Value {
     Value::Object(vec![
+        ("core".to_owned(), u64v(row.core as u64)),
+        ("instructions".to_owned(), u64v(row.instructions)),
+        ("ipc".to_owned(), bits(row.ipc)),
+        ("stats".to_owned(), core_stats_to_value(&row.stats)),
+        ("l1".to_owned(), cache_stats_to_value(&row.l1)),
+        ("fabric".to_owned(), opt(row.fabric.as_ref().map(cache_stats_to_value))),
+        ("coherence_hits".to_owned(), u64v(row.coherence_hits)),
+        ("coherence_misses".to_owned(), u64v(row.coherence_misses)),
+        (
+            "invalidations_received".to_owned(),
+            u64v(row.invalidations_received),
+        ),
+    ])
+}
+
+fn coherence_stats_to_value(s: &crate::cmp::CoherenceStats) -> Value {
+    Value::Object(vec![
+        ("reads".to_owned(), u64v(s.reads)),
+        ("writes".to_owned(), u64v(s.writes)),
+        ("hits".to_owned(), u64v(s.hits)),
+        ("misses".to_owned(), u64v(s.misses)),
+        ("evictions".to_owned(), u64v(s.evictions)),
+        ("invalidations_sent".to_owned(), u64v(s.invalidations_sent)),
+        ("downgrades".to_owned(), u64v(s.downgrades)),
+        ("writebacks".to_owned(), u64v(s.writebacks)),
+        ("recalls".to_owned(), u64v(s.recalls)),
+        (
+            "per_core_invalidations".to_owned(),
+            Value::Array(s.per_core_invalidations.iter().copied().map(u64v).collect()),
+        ),
+    ])
+}
+
+fn result_to_value(result: &RunResult) -> Value {
+    let mut fields = vec![
         ("label".to_owned(), strv(&result.label)),
         ("workload".to_owned(), strv(&result.workload)),
         ("suite".to_owned(), suite_to_value(result.suite)),
@@ -354,7 +389,20 @@ fn result_to_value(result: &RunResult) -> Value {
         ("core".to_owned(), core_stats_to_value(&result.core)),
         ("hierarchy".to_owned(), hierarchy_stats_to_value(&result.hierarchy)),
         ("energy".to_owned(), energy_to_value(&result.energy)),
-    ])
+    ];
+    // CMP-only fields are emitted only for CMP results, so single-core
+    // journal lines (and their digests) are byte-identical to older
+    // releases.
+    if !result.per_core.is_empty() {
+        fields.push((
+            "per_core".to_owned(),
+            Value::Array(result.per_core.iter().map(core_row_to_value).collect()),
+        ));
+    }
+    if let Some(coherence) = &result.coherence {
+        fields.push(("coherence".to_owned(), coherence_stats_to_value(coherence)));
+    }
+    Value::Object(fields)
 }
 
 fn perf_to_value(perf: &RunPerf) -> Value {
@@ -548,7 +596,51 @@ fn hierarchy_stats_from_value(value: &Value) -> DecodeResult<crate::hierarchy::H
     })
 }
 
+fn core_row_from_value(value: &Value) -> DecodeResult<crate::cmp::CoreRow> {
+    Ok(crate::cmp::CoreRow {
+        core: field_usize(value, "core")?,
+        instructions: field_u64(value, "instructions")?,
+        ipc: field_bits(value, "ipc")?,
+        stats: core_stats_from_value(field(value, "stats")?)?,
+        l1: cache_stats_from_value(field(value, "l1")?)?,
+        fabric: field_opt(value, "fabric", cache_stats_from_value)?,
+        coherence_hits: field_u64(value, "coherence_hits")?,
+        coherence_misses: field_u64(value, "coherence_misses")?,
+        invalidations_received: field_u64(value, "invalidations_received")?,
+    })
+}
+
+fn coherence_stats_from_value(value: &Value) -> DecodeResult<crate::cmp::CoherenceStats> {
+    Ok(crate::cmp::CoherenceStats {
+        reads: field_u64(value, "reads")?,
+        writes: field_u64(value, "writes")?,
+        hits: field_u64(value, "hits")?,
+        misses: field_u64(value, "misses")?,
+        evictions: field_u64(value, "evictions")?,
+        invalidations_sent: field_u64(value, "invalidations_sent")?,
+        downgrades: field_u64(value, "downgrades")?,
+        writebacks: field_u64(value, "writebacks")?,
+        recalls: field_u64(value, "recalls")?,
+        per_core_invalidations: field_u64_array(value, "per_core_invalidations")?,
+    })
+}
+
 fn result_from_value(value: &Value) -> DecodeResult<RunResult> {
+    // Both CMP fields are absent from pre-multicore journals and from every
+    // single-core line, so they decode as empty/None when missing.
+    let per_core = match value.get("per_core") {
+        None | Some(Value::Null) => Vec::new(),
+        Some(rows) => rows
+            .as_array()
+            .ok_or_else(|| "field \"per_core\" is not an array".to_owned())?
+            .iter()
+            .map(core_row_from_value)
+            .collect::<DecodeResult<_>>()?,
+    };
+    let coherence = match value.get("coherence") {
+        None | Some(Value::Null) => None,
+        Some(stats) => Some(coherence_stats_from_value(stats)?),
+    };
     Ok(RunResult {
         label: field_str(value, "label")?,
         workload: field_str(value, "workload")?,
@@ -559,6 +651,8 @@ fn result_from_value(value: &Value) -> DecodeResult<RunResult> {
         core: core_stats_from_value(field(value, "core")?)?,
         hierarchy: hierarchy_stats_from_value(field(value, "hierarchy")?)?,
         energy: energy_from_value(field(value, "energy")?)?,
+        per_core,
+        coherence,
     })
 }
 

@@ -59,6 +59,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod cmp;
 pub mod configs;
 pub mod energy_model;
 pub mod experiments;
@@ -72,6 +73,7 @@ pub mod sweep;
 pub mod system;
 
 pub use batch::{BatchJob, BatchRunner};
+pub use cmp::{CmpMachine, CmpMemory, CoherenceStats, CoreRow};
 pub use configs::HierarchyKind;
 pub use experiments::{ExperimentPlan, FailedRun, Study};
 pub use hierarchy::{ClassicHierarchy, HierarchyStats, LNucaHierarchy};

@@ -502,6 +502,11 @@ pub fn spec_to_value(spec: &HierarchySpec) -> Value {
     }
     members.push(("backing".to_owned(), backing_to_value(&spec.backing)));
     members.push(("memory".to_owned(), memory_to_value(&spec.memory)));
+    if spec.cores > 1 {
+        // Emitted only for CMP shapes, so every committed single-core
+        // scenario document stays byte-identical.
+        members.push(("cores".to_owned(), Value::UInt(spec.cores as u64)));
+    }
     Value::Object(members)
 }
 
@@ -569,6 +574,15 @@ pub fn spec_from_value(path: &str, value: &Value) -> Result<HierarchySpec, Scena
     }
     if let Some(v) = fields.optional("memory") {
         spec.memory = memory_from_value(&fields.child_path("memory"), v)?;
+    }
+    if let Some(v) = fields.optional("cores") {
+        let cores_path = fields.child_path("cores");
+        let raw = expect_u64(&cores_path, v)?;
+        if raw == 0 {
+            return Err(ScenarioError::schema(&cores_path, "a machine has at least one core"));
+        }
+        spec.cores = usize::try_from(raw)
+            .map_err(|_| ScenarioError::schema(&cores_path, "out of range"))?;
     }
     fields.finish()?;
     spec.validate()?;
@@ -1036,6 +1050,8 @@ pub fn builtin_names() -> Vec<&'static str> {
         "ln3-no-l3",
         "deep-stack",
         "trace-replay",
+        "cmp-sharing",
+        "cmp-lnuca-dnuca",
     ]
 }
 
@@ -1228,6 +1244,75 @@ pub fn builtin(name: &str) -> Result<Scenario, UnknownNameError> {
                 plan,
             ))
         }
+        "cmp-sharing" => {
+            let mut options = ExperimentOptions::builder().instructions(50_000).build();
+            options.threads = 0;
+            options.workloads = WorkloadSelection::Named(vec![
+                "sh.prodcons".to_owned(),
+                "sh.migratory".to_owned(),
+                "sh.falseshare".to_owned(),
+            ]);
+            let plan = expect_plan(
+                ExperimentPlan::builder("cmp-sharing")
+                    .config(
+                        HierarchySpec::builder()
+                            .backing_cache(configs::paper_l3())
+                            .cores(2)
+                            .build()
+                            .expect("the 2-core shape is valid"),
+                    )
+                    .config(
+                        HierarchySpec::builder()
+                            .backing_cache(configs::paper_l3())
+                            .cores(4)
+                            .build()
+                            .expect("the 4-core shape is valid"),
+                    )
+                    .options(options)
+                    .build(),
+            );
+            Ok(scenario(
+                "Multicore sharing study (DESIGN.md §17): 2 and 4 private L1s over \
+                 the shared 8 MB L3, driven by the three sharing workload classes \
+                 through the MSI directory.",
+                plan,
+            ))
+        }
+        "cmp-lnuca-dnuca" => {
+            let mut options = ExperimentOptions::builder().instructions(50_000).build();
+            options.threads = 0;
+            options.workloads = WorkloadSelection::Named(vec![
+                "sh.prodcons".to_owned(),
+                "sh.falseshare".to_owned(),
+                "int.compress".to_owned(),
+            ]);
+            let plan = expect_plan(
+                ExperimentPlan::builder("cmp-lnuca-dnuca")
+                    .config(
+                        HierarchySpec::builder()
+                            .fabric(LNucaConfig::paper(2).expect("2 levels is valid"))
+                            .backing_dnuca(DNucaConfig::paper())
+                            .cores(4)
+                            .build()
+                            .expect("the 4-core fabric shape is valid"),
+                    )
+                    .config(
+                        HierarchySpec::builder()
+                            .backing_dnuca(DNucaConfig::paper())
+                            .cores(4)
+                            .build()
+                            .expect("the fabric-less control is valid"),
+                    )
+                    .options(options)
+                    .build(),
+            );
+            Ok(scenario(
+                "The flagship CMP shape: four cores with private L1 + 2-level \
+                 L-NUCA fabric over a shared D-NUCA, vs the fabric-less control, \
+                 on sharing and private workloads.",
+                plan,
+            ))
+        }
         other => Err(UnknownNameError::new("scenario", other, builtin_names())),
     }
 }
@@ -1247,7 +1332,7 @@ pub fn report_value(plan: &ExperimentPlan, study: &Study) -> Value {
         .results
         .iter()
         .map(|r| {
-            Value::Object(vec![
+            let mut members = vec![
                 ("label".to_owned(), Value::String(r.label.clone())),
                 ("workload".to_owned(), Value::String(r.workload.clone())),
                 (
@@ -1261,7 +1346,59 @@ pub fn report_value(plan: &ExperimentPlan, study: &Study) -> Value {
                 ("memory_accesses".to_owned(), Value::UInt(r.hierarchy.memory_accesses)),
                 ("write_drains".to_owned(), Value::UInt(r.hierarchy.write_drains)),
                 ("energy_total_pj".to_owned(), Value::Float(r.energy.total_pj())),
-            ])
+            ];
+            // CMP rows (present only for cores > 1, so single-core report
+            // documents are unchanged): one object per core plus the
+            // run-wide MSI directory counters.
+            if !r.per_core.is_empty() {
+                members.push((
+                    "per_core".to_owned(),
+                    Value::Array(
+                        r.per_core
+                            .iter()
+                            .map(|row| {
+                                Value::Object(vec![
+                                    ("core".to_owned(), Value::UInt(row.core as u64)),
+                                    ("instructions".to_owned(), Value::UInt(row.instructions)),
+                                    ("ipc".to_owned(), Value::Float(row.ipc)),
+                                    (
+                                        "coherence_hits".to_owned(),
+                                        Value::UInt(row.coherence_hits),
+                                    ),
+                                    (
+                                        "coherence_misses".to_owned(),
+                                        Value::UInt(row.coherence_misses),
+                                    ),
+                                    (
+                                        "invalidations_received".to_owned(),
+                                        Value::UInt(row.invalidations_received),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            if let Some(c) = &r.coherence {
+                members.push((
+                    "coherence".to_owned(),
+                    Value::Object(vec![
+                        ("reads".to_owned(), Value::UInt(c.reads)),
+                        ("writes".to_owned(), Value::UInt(c.writes)),
+                        ("hits".to_owned(), Value::UInt(c.hits)),
+                        ("misses".to_owned(), Value::UInt(c.misses)),
+                        ("evictions".to_owned(), Value::UInt(c.evictions)),
+                        (
+                            "invalidations_sent".to_owned(),
+                            Value::UInt(c.invalidations_sent),
+                        ),
+                        ("downgrades".to_owned(), Value::UInt(c.downgrades)),
+                        ("writebacks".to_owned(), Value::UInt(c.writebacks)),
+                        ("recalls".to_owned(), Value::UInt(c.recalls)),
+                    ]),
+                ));
+            }
+            Value::Object(members)
         })
         .collect();
     // Failed runs appear in the same array with their structured status
@@ -1524,6 +1661,58 @@ pub fn validate_report(value: &Value) -> Result<(), String> {
             row.uint("memory_accesses")?;
             row.uint("write_drains")?;
             row.float("energy_total_pj")?;
+            // CMP rows: per-core breakdown + directory counters, present
+            // together or not at all (single-core rows carry neither).
+            let per_core = row.optional("per_core").cloned();
+            let coherence = row.optional("coherence").cloned();
+            if per_core.is_some() != coherence.is_some() {
+                return Err(report_err(
+                    &path,
+                    "\"per_core\" and \"coherence\" must appear together",
+                ));
+            }
+            if let Some(rows) = &per_core {
+                let Some(cores) = rows.as_array() else {
+                    return Err(report_err(
+                        &format!("{path}.per_core"),
+                        format!("expected an array, got {}", rows.type_name()),
+                    ));
+                };
+                if cores.is_empty() {
+                    return Err(report_err(
+                        &format!("{path}.per_core"),
+                        "a CMP result reports at least one core",
+                    ));
+                }
+                for (j, core_row) in cores.iter().enumerate() {
+                    let core_path = format!("{path}.per_core[{j}]");
+                    let mut walker = ReportFields::new(&core_path, core_row)?;
+                    walker.uint("core")?;
+                    walker.uint("instructions")?;
+                    walker.float("ipc")?;
+                    walker.uint("coherence_hits")?;
+                    walker.uint("coherence_misses")?;
+                    walker.uint("invalidations_received")?;
+                    walker.finish()?;
+                }
+            }
+            if let Some(counters) = &coherence {
+                let mut walker = ReportFields::new(format!("{path}.coherence"), counters)?;
+                for key in [
+                    "reads",
+                    "writes",
+                    "hits",
+                    "misses",
+                    "evictions",
+                    "invalidations_sent",
+                    "downgrades",
+                    "writebacks",
+                    "recalls",
+                ] {
+                    walker.uint(key)?;
+                }
+                walker.finish()?;
+            }
         } else {
             row.uint("seed")?;
             row.string("error")?;
@@ -1574,6 +1763,29 @@ pub fn validate_report(value: &Value) -> Result<(), String> {
         }
         walker.float("epsilon")?;
         walker.uint("probe_instructions")?;
+        // The core-count axis (optional: pre-CMP sweep reports omit it).
+        if let Some(cores) = walker.optional("cores") {
+            let Some(items) = cores.as_array() else {
+                return Err(report_err(
+                    "$.sweep.cores",
+                    format!("expected an array, got {}", cores.type_name()),
+                ));
+            };
+            if items.is_empty() {
+                return Err(report_err("$.sweep.cores", "the cores axis holds at least one count"));
+            }
+            for (i, item) in items.iter().enumerate() {
+                match item.as_u64() {
+                    Some(c) if c >= 1 => {}
+                    _ => {
+                        return Err(report_err(
+                            &format!("$.sweep.cores[{i}]"),
+                            "core counts are positive integers",
+                        ));
+                    }
+                }
+            }
+        }
         let frontier = walker.array("frontier")?;
         if frontier.is_empty() {
             return Err(report_err("$.sweep.frontier", "a sweep always keeps at least one point"));

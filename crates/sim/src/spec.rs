@@ -140,6 +140,13 @@ pub struct HierarchySpec {
     pub backing: BackingSpec,
     /// Main memory timing.
     pub memory: MemoryConfig,
+    /// Number of root tiles (cores). `1` is the classic single-core
+    /// hierarchy; `> 1` replicates the private side — the root cache plus
+    /// the optional fabric — once per core over the **shared** backing,
+    /// with an MSI directory (`lnuca-coherence`) keeping the private
+    /// copies coherent (DESIGN.md §17). Intermediate levels are not
+    /// supported in CMP shapes yet.
+    pub cores: usize,
 }
 
 impl HierarchySpec {
@@ -155,6 +162,7 @@ impl HierarchySpec {
                 intermediate: Vec::new(),
                 backing: BackingSpec::Memory,
                 memory: configs::paper_memory(),
+                cores: 1,
             },
         }
     }
@@ -195,6 +203,23 @@ impl HierarchySpec {
             BackingSpec::DNuca(dnuca) => dnuca.validate()?,
             BackingSpec::Memory => {}
         }
+        if self.cores == 0 || self.cores > lnuca_coherence::MAX_CORES {
+            return Err(ConfigError::new(
+                "cores",
+                format!(
+                    "must be 1..={} (directory sharer sets are 64-bit masks), got {}",
+                    lnuca_coherence::MAX_CORES,
+                    self.cores
+                ),
+            ));
+        }
+        if self.cores > 1 && !self.intermediate.is_empty() {
+            return Err(ConfigError::new(
+                "cores",
+                "CMP shapes do not support intermediate levels yet (the private \
+                 side is root + optional fabric; the next level is the shared backing)",
+            ));
+        }
         Ok(())
     }
 
@@ -208,6 +233,17 @@ impl HierarchySpec {
         if let Some(label) = &self.label {
             return label.clone();
         }
+        let base = self.composition_label();
+        if self.cores > 1 {
+            format!("{}x {}", self.cores, base)
+        } else {
+            base
+        }
+    }
+
+    /// The single-core composition name (the `label()` body before the
+    /// CMP `{cores}x ` prefix is applied).
+    fn composition_label(&self) -> String {
         match (&self.fabric, self.intermediate.as_slice(), &self.backing) {
             // The four paper shapes keep their figure names.
             (None, [l2], BackingSpec::Cache(_)) => {
@@ -335,6 +371,15 @@ impl HierarchySpecBuilder {
         self
     }
 
+    /// Sets the number of root tiles (cores; defaults to 1). Each core
+    /// gets a private copy of the root cache and the optional fabric; the
+    /// backing is shared and kept coherent by an MSI directory.
+    #[must_use]
+    pub fn cores(mut self, cores: usize) -> Self {
+        self.spec.cores = cores;
+        self
+    }
+
     /// Validates and produces the spec.
     ///
     /// # Errors
@@ -454,6 +499,30 @@ mod tests {
         let named = HierarchySpec::builder().label("custom").build().unwrap();
         assert_eq!(named.label(), "custom");
         assert_eq!(named.backing, BackingSpec::Memory);
+    }
+
+    #[test]
+    fn cmp_specs_validate_and_prefix_their_labels() {
+        let cmp = HierarchySpec::builder()
+            .fabric(LNucaConfig::paper(2).unwrap())
+            .backing_dnuca(configs::dnuca_hierarchy().dnuca)
+            .cores(4)
+            .build()
+            .unwrap();
+        assert_eq!(cmp.label(), "4x LN2 + DN-4x8");
+        let solo = HierarchySpec::builder().cores(1).build().unwrap();
+        assert!(!solo.label().contains('x'), "single-core labels are unchanged: {}", solo.label());
+
+        let err = HierarchySpec::builder().cores(0).build().unwrap_err();
+        assert!(err.to_string().contains("cores"), "{err}");
+        let err = HierarchySpec::builder().cores(65).build().unwrap_err();
+        assert!(err.to_string().contains("cores"), "{err}");
+        let err = HierarchySpec::builder()
+            .intermediate(IntermediateSpec::paper_l2())
+            .cores(2)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("intermediate"), "{err}");
     }
 
     #[test]

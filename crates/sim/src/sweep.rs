@@ -74,6 +74,11 @@ pub struct SweepConfig {
     /// the same area and strictly more cycles and energy, so grids that
     /// include one always exercise the pruning stage.
     pub memory_scales: Vec<u64>,
+    /// Core counts. `1` is the classic single-core hierarchy; larger
+    /// values replicate the private front end (root + fabric) per core
+    /// over the shared backing, with MSI coherence between them — so CMP
+    /// points compete on the same Pareto frontier as single-core ones.
+    pub cores: Vec<usize>,
     /// Relative ε of the dominance test (knob `LNUCA_SWEEP_EPSILON`).
     pub epsilon: f64,
     /// Instructions of the probe stage (knob `LNUCA_SWEEP_PROBE`).
@@ -85,7 +90,7 @@ pub struct SweepConfig {
 
 impl SweepConfig {
     /// The default full grid: 5 tile sizes × 4 level counts × 2 routings ×
-    /// 2 backings × 2 memory timings = 160 points.
+    /// 2 backings × 2 memory timings × 3 core counts = 480 points.
     #[must_use]
     pub fn grid() -> Self {
         SweepConfig {
@@ -95,14 +100,16 @@ impl SweepConfig {
             routings: vec![RoutingPolicy::RandomValid, RoutingPolicy::DimensionOrder],
             backings: vec![SweepBacking::PaperL3, SweepBacking::Memory],
             memory_scales: vec![1, 3],
+            cores: vec![1, 2, 4],
             epsilon: 0.02,
             probe_instructions: 2_000,
             options: Self::survivor_options(4_000),
         }
     }
 
-    /// A 16-point grid (2 tile sizes × 2 level counts × 1 routing ×
-    /// 2 backings × 2 memory timings) small enough for CI and unit tests.
+    /// A 32-point grid (2 tile sizes × 2 level counts × 1 routing ×
+    /// 2 backings × 2 memory timings × 2 core counts) small enough for CI
+    /// and unit tests.
     #[must_use]
     pub fn miniature() -> Self {
         SweepConfig {
@@ -112,6 +119,7 @@ impl SweepConfig {
             routings: vec![RoutingPolicy::RandomValid],
             backings: vec![SweepBacking::PaperL3, SweepBacking::Memory],
             memory_scales: vec![1, 3],
+            cores: vec![1, 2],
             epsilon: 0.02,
             probe_instructions: 1_000,
             options: Self::survivor_options(2_000),
@@ -136,6 +144,7 @@ impl SweepConfig {
             * self.routings.len()
             * self.backings.len()
             * self.memory_scales.len()
+            * self.cores.len()
     }
 
     /// Expands the grid into validated specs, each with an explicit,
@@ -154,34 +163,42 @@ impl SweepConfig {
                 for &routing in &self.routings {
                     for &backing in &self.backings {
                         for &scale in &self.memory_scales {
-                            if scale == 0 {
-                                return Err(ConfigError::new(
-                                    "memory_scales",
-                                    "memory timing multipliers must be nonzero",
-                                ));
+                            for &cores in &self.cores {
+                                if scale == 0 {
+                                    return Err(ConfigError::new(
+                                        "memory_scales",
+                                        "memory timing multipliers must be nonzero",
+                                    ));
+                                }
+                                let mut fabric = lnuca_core::LNucaConfig::paper(levels)?;
+                                fabric.tile_size_bytes = tile_kb * 1024;
+                                fabric.routing = routing;
+                                let routing_short = match routing {
+                                    RoutingPolicy::RandomValid => "rnd",
+                                    RoutingPolicy::DimensionOrder => "dim",
+                                };
+                                // Override labels skip the automatic CMP
+                                // `{N}x ` prefix, so the core count is
+                                // encoded here; single-core labels keep
+                                // their historical form.
+                                let cmp = if cores > 1 { format!("{cores}x-") } else { String::new() };
+                                let label = format!(
+                                    "{cmp}LN{levels}-t{tile_kb}k-{routing_short}-{}-m{scale}",
+                                    backing.short()
+                                );
+                                let mut memory = configs::paper_memory();
+                                memory.first_chunk_cycles *= scale;
+                                let mut builder = HierarchySpec::builder()
+                                    .label(label)
+                                    .fabric(fabric)
+                                    .memory(memory)
+                                    .cores(cores);
+                                builder = match backing {
+                                    SweepBacking::PaperL3 => builder.backing_cache(configs::paper_l3()),
+                                    SweepBacking::Memory => builder.backing(BackingSpec::Memory),
+                                };
+                                specs.push(builder.build()?);
                             }
-                            let mut fabric = lnuca_core::LNucaConfig::paper(levels)?;
-                            fabric.tile_size_bytes = tile_kb * 1024;
-                            fabric.routing = routing;
-                            let routing_short = match routing {
-                                RoutingPolicy::RandomValid => "rnd",
-                                RoutingPolicy::DimensionOrder => "dim",
-                            };
-                            let label = format!(
-                                "LN{levels}-t{tile_kb}k-{routing_short}-{}-m{scale}",
-                                backing.short()
-                            );
-                            let mut memory = configs::paper_memory();
-                            memory.first_chunk_cycles *= scale;
-                            let mut builder = HierarchySpec::builder()
-                                .label(label)
-                                .fabric(fabric)
-                                .memory(memory);
-                            builder = match backing {
-                                SweepBacking::PaperL3 => builder.backing_cache(configs::paper_l3()),
-                                SweepBacking::Memory => builder.backing(BackingSpec::Memory),
-                            };
-                            specs.push(builder.build()?);
                         }
                     }
                 }
@@ -351,6 +368,9 @@ pub fn spec_area_mm2(spec: &HierarchySpec, model: &AreaModel) -> f64 {
         }
         None => model.l1_mm2(spec.root.size_bytes),
     };
+    // Each core replicates the private front end (root + fabric); the
+    // intermediate levels and backing store are shared.
+    area *= spec.cores as f64;
     for level in &spec.intermediate {
         area += model.sram_mm2(level.cache.size_bytes);
     }
@@ -422,6 +442,12 @@ impl SweepOutcome {
                 "probe_instructions".to_owned(),
                 Value::UInt(self.config.probe_instructions),
             ),
+            (
+                "cores".to_owned(),
+                Value::Array(
+                    self.config.cores.iter().map(|&c| Value::UInt(c as u64)).collect(),
+                ),
+            ),
             ("frontier".to_owned(), Value::Array(frontier)),
         ]);
         if let Value::Object(fields) = &mut report {
@@ -481,6 +507,29 @@ mod tests {
         assert!(!outcome.frontier.is_empty(), "the frontier is never empty");
         crate::scenario::validate_report(&outcome.report_value())
             .expect("the extended report is check-report clean");
+    }
+
+    #[test]
+    fn the_cores_axis_expands_to_cmp_points_and_is_recorded() {
+        let grid = SweepConfig::grid();
+        assert_eq!(grid.cores, vec![1, 2, 4]);
+        let mut mini = SweepConfig::miniature();
+        mini.cores = vec![1, 4];
+        let specs = mini.expand().expect("the CMP grid expands");
+        assert_eq!(specs.len(), mini.point_count());
+        let cmp: Vec<_> = specs.iter().filter(|s| s.cores > 1).collect();
+        assert_eq!(cmp.len(), specs.len() / 2, "half the points are 4-core");
+        assert!(cmp.iter().all(|s| s.label().starts_with("4x-")), "CMP labels encode the core count");
+        // Replicated private front ends cost area: with no shared backing
+        // the 4-core twin of a point is exactly four front ends.
+        let solo = specs.iter().find(|s| s.cores == 1 && s.label().contains("-mem-")).unwrap();
+        let quad = specs
+            .iter()
+            .find(|s| s.cores == 4 && s.label().ends_with(solo.label().as_str()))
+            .unwrap();
+        let model = AreaModel::paper();
+        let (a_solo, a_quad) = (spec_area_mm2(solo, &model), spec_area_mm2(quad, &model));
+        assert!((a_quad - 4.0 * a_solo).abs() < 1e-9, "quad {a_quad} vs solo {a_solo}");
     }
 
     #[test]

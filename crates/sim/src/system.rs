@@ -78,6 +78,11 @@ pub struct RunResult {
     pub hierarchy: HierarchyStats,
     /// Energy ledger of the run.
     pub energy: EnergyAccount,
+    /// Per-core rows of a CMP run; empty for single-core runs, so
+    /// single-core comparisons and serialisations are unchanged.
+    pub per_core: Vec<crate::cmp::CoreRow>,
+    /// MSI-directory counters of a CMP run; `None` for single-core runs.
+    pub coherence: Option<crate::cmp::CoherenceStats>,
 }
 
 /// Builder/driver for a core + hierarchy simulation.
@@ -286,6 +291,19 @@ impl System {
         probe: P,
         guard: &mut G,
     ) -> Result<(RunResult, AnyHierarchy<P>), RunError> {
+        if spec.cores > 1 {
+            // Multicore shapes run on the CMP machine (DESIGN.md §17):
+            // same engines, same guard observation points, same cap.
+            return crate::cmp::run_cmp_guarded(
+                engine,
+                spec,
+                profile,
+                instructions,
+                seed,
+                probe,
+                guard,
+            );
+        }
         let mut hierarchy = Self::build_spec_probed(spec, probe)?;
         let trace =
             TraceGenerator::new(profile.clone(), seed).take(usize::try_from(instructions).unwrap_or(usize::MAX));
@@ -343,6 +361,8 @@ impl System {
             core: *core.stats(),
             hierarchy: stats,
             energy,
+            per_core: Vec::new(),
+            coherence: None,
         };
         Ok((result, hierarchy))
     }

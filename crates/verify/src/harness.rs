@@ -345,6 +345,15 @@ fn check_residency(
     let (l1, outer) = match hierarchy {
         AnyHierarchy::Classic(h) => (h.l1(), h.outer()),
         AnyHierarchy::LNuca(h) => (h.l1(), h.outer()),
+        AnyHierarchy::Cmp(_) => {
+            // Multicore runs are checked by the coherence oracle
+            // (`crate::coherence`), not the single-core residency model.
+            return Err(vec![
+                "residency checking does not apply to multicore hierarchies; \
+                 use the coherence oracle instead"
+                    .to_owned(),
+            ]);
+        }
     };
     compare(
         &mut errors,

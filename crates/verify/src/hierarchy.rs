@@ -138,6 +138,13 @@ impl RefHierarchy {
             }
             ProbeEvent::RootVictim { addr, dirty } => self.apply_root_victim(addr, dirty),
             ProbeEvent::Spill { addr, dirty } => self.apply_spill(addr, dirty),
+            ProbeEvent::CoherentAccess { .. }
+            | ProbeEvent::CoherentEvict { .. }
+            | ProbeEvent::CoherentRecall { .. } => Err(
+                "coherence events cannot occur in a single-core run; \
+                 CMP streams are checked by the coherence oracle instead"
+                    .to_owned(),
+            ),
             ProbeEvent::WriteDrain { addr } => {
                 self.outer.write_through(addr);
                 self.write_drains += 1;

@@ -70,12 +70,14 @@
 
 pub mod batch;
 pub mod chaos;
+pub mod coherence;
 pub mod harness;
 pub mod hierarchy;
 pub mod recorder;
 pub mod reference;
 
 pub use batch::{BatchCase, BatchEquivalenceReport, SequentialBaseline};
+pub use coherence::{run_coherence, run_coherence_both_engines, CoherenceError, CoherenceReport};
 pub use harness::{run_differential, run_differential_both_engines, DifferentialError, DifferentialReport};
 pub use hierarchy::RefHierarchy;
 pub use recorder::RecordingProbe;

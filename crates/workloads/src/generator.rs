@@ -21,6 +21,13 @@ pub const WARM_BASE: u64 = 0x0000_2000_0000;
 pub const COLD_BASE: u64 = 0x0000_4000_0000;
 /// Base virtual address of the streaming region.
 pub const STREAM_BASE: u64 = 0x0001_0000_0000;
+/// Base virtual address of the **shared** region the CMP sharing patterns
+/// ([`AccessPattern::ProducerConsumer`], [`AccessPattern::Migratory`],
+/// [`AccessPattern::FalseSharing`]) operate on: every core of a CMP run
+/// addresses the same [`WorkloadProfile::shared_blocks`]-block window
+/// here, so cross-core conflicts are real sharing, never aliasing. Placed
+/// well above the streaming region's maximum extent.
+pub const SHARED_BASE: u64 = 0x0002_0000_0000;
 
 /// A seeded, infinite iterator of synthetic instructions following a
 /// [`WorkloadProfile`].
@@ -55,6 +62,16 @@ pub struct TraceGenerator {
     /// Streaming reader over the ingested binary trace, present exactly for
     /// [`AccessPattern::Trace`] profiles.
     replay: Option<TraceReplay>,
+    /// This stream's core index within a CMP run (`0` for solo runs).
+    core_id: u64,
+    /// Total cores of the CMP run this stream belongs to (`1` for solo).
+    cores: u64,
+    /// Producer cursor of the sharing patterns (walks the core's own
+    /// window of the shared region).
+    shared_write_cursor: u64,
+    /// Consumer cursor of the sharing patterns (walks the upstream
+    /// neighbour's window).
+    shared_read_cursor: u64,
     generated: u64,
 }
 
@@ -70,10 +87,31 @@ impl TraceGenerator {
     /// always valid).
     #[must_use]
     pub fn new(profile: WorkloadProfile, seed: u64) -> Self {
+        Self::for_core(profile, seed, 0, 1)
+    }
+
+    /// Creates the instruction stream of core `core_id` of a `cores`-wide
+    /// CMP run. `for_core(profile, seed, 0, 1)` is bit-identical to
+    /// [`TraceGenerator::new`]`(profile, seed)` — solo runs are the
+    /// one-core special case, not a separate code path. Each core draws
+    /// from its own decorrelated RNG stream; the sharing patterns
+    /// additionally use `core_id`/`cores` to partition the shared region.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`TraceGenerator::new`], and if `core_id >= cores` or
+    /// `cores == 0`.
+    #[must_use]
+    pub fn for_core(profile: WorkloadProfile, seed: u64, core_id: usize, cores: usize) -> Self {
+        assert!(cores > 0, "a CMP run has at least one core");
+        assert!(core_id < cores, "core {core_id} out of range for {cores} cores");
         profile
             .validate()
             .expect("trace generator requires a valid workload profile");
-        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED_CAFE_F00D_u64);
+        // Core 0's perturbation is zero, which is what makes the solo
+        // stream the one-core special case bit for bit.
+        let perturb = (core_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED_CAFE_F00D_u64 ^ perturb);
         let branch_directions = (0..profile.static_branches)
             .map(|_| rng.gen_bool(0.5))
             .collect();
@@ -95,10 +133,21 @@ impl TraceGenerator {
             chase_cursor: 0,
             branch_directions,
             replay,
+            core_id: core_id as u64,
+            cores: cores as u64,
+            shared_write_cursor: 0,
+            shared_read_cursor: 0,
             profile,
             rng,
             generated: 0,
         }
+    }
+
+    /// This stream's `(core index, total cores)` within its CMP run
+    /// (`(0, 1)` for solo streams).
+    #[must_use]
+    pub fn core(&self) -> (usize, usize) {
+        (self.core_id as usize, self.cores as usize)
     }
 
     /// The profile driving this generator.
@@ -151,7 +200,7 @@ impl TraceGenerator {
         }
     }
 
-    fn next_memory_addr(&mut self) -> Addr {
+    fn next_memory_addr(&mut self, is_store: bool) -> Addr {
         let p = &self.profile;
         // Spatial locality: continue the previous access one word (8 bytes)
         // further, so several consecutive accesses land in the same cache
@@ -161,17 +210,22 @@ impl TraceGenerator {
             self.last_addr += 8;
             return Addr(self.last_addr);
         }
-        let block = match self.active_pattern() {
-            AccessPattern::Regions => self.next_regions_block(),
-            AccessPattern::PointerChase => self.next_chase_block(),
-            AccessPattern::Streaming => self.next_streaming_block(),
-            AccessPattern::Gups => self.next_gups_block(),
+        let addr = match self.active_pattern() {
+            AccessPattern::Regions => self.next_regions_block() * TRACE_BLOCK_BYTES,
+            AccessPattern::PointerChase => self.next_chase_block() * TRACE_BLOCK_BYTES,
+            AccessPattern::Streaming => self.next_streaming_block() * TRACE_BLOCK_BYTES,
+            AccessPattern::Gups => self.next_gups_block() * TRACE_BLOCK_BYTES,
+            AccessPattern::ProducerConsumer => {
+                self.next_producer_consumer_block(is_store) * TRACE_BLOCK_BYTES
+            }
+            AccessPattern::Migratory => self.next_migratory_block() * TRACE_BLOCK_BYTES,
+            AccessPattern::FalseSharing => self.next_false_sharing_addr(),
             AccessPattern::PhaseMix => unreachable!("active_pattern resolves the rotation"),
             AccessPattern::Trace => {
                 unreachable!("trace profiles take the replay path, never the synthetic one")
             }
         };
-        self.last_addr = block * TRACE_BLOCK_BYTES;
+        self.last_addr = addr;
         Addr(self.last_addr)
     }
 
@@ -229,6 +283,61 @@ impl TraceGenerator {
         } else {
             STREAM_BASE / TRACE_BLOCK_BYTES + (slot - p.hot_blocks - p.warm_blocks - p.cold_blocks)
         }
+    }
+
+    /// Producer-consumer ring over the shared region: the region is cut
+    /// into one window per core; stores walk the core's own window, loads
+    /// walk the upstream neighbour's, so every handed-off line goes
+    /// through an M→S downgrade at the consumer and back to M at the
+    /// producer. With one core both windows coincide (a rotating private
+    /// buffer). Probability `hot_prob` of a private hot touch models the
+    /// stage's own locals.
+    fn next_producer_consumer_block(&mut self, is_store: bool) -> u64 {
+        let p = &self.profile;
+        if self.rng.gen_bool(p.hot_prob) {
+            return HOT_BASE / TRACE_BLOCK_BYTES + self.rng.gen_range(0..p.hot_blocks);
+        }
+        let window = (p.shared_blocks / self.cores).max(1);
+        if is_store {
+            let stage = self.core_id;
+            self.shared_write_cursor = (self.shared_write_cursor + 1) % window;
+            SHARED_BASE / TRACE_BLOCK_BYTES + stage * window + self.shared_write_cursor
+        } else {
+            let stage = (self.core_id + self.cores - 1) % self.cores;
+            self.shared_read_cursor = (self.shared_read_cursor + 1) % window;
+            SHARED_BASE / TRACE_BLOCK_BYTES + stage * window + self.shared_read_cursor
+        }
+    }
+
+    /// Migratory sharing: the shared region is cut into one partition per
+    /// core, and each core's active partition rotates every
+    /// `phase_period` instructions — so a partition's accessor changes
+    /// over time and its lines migrate core to core, one ownership
+    /// transfer (and writeback) per hop. With one core the partition is
+    /// stationary: a plain read-modify-write working set.
+    fn next_migratory_block(&mut self) -> u64 {
+        let p = &self.profile;
+        if self.rng.gen_bool(p.hot_prob) {
+            return HOT_BASE / TRACE_BLOCK_BYTES + self.rng.gen_range(0..p.hot_blocks);
+        }
+        let partition = (p.shared_blocks / self.cores).max(1);
+        let stage = (self.generated / p.phase_period + self.core_id) % self.cores;
+        SHARED_BASE / TRACE_BLOCK_BYTES + stage * partition + self.rng.gen_range(0..partition)
+    }
+
+    /// False sharing: every core hammers the word at its own index inside
+    /// blocks drawn from the same small pool, so cores never touch the
+    /// same word yet constantly invalidate each other's copies of the
+    /// same lines. Returns a byte address (the word offset matters).
+    fn next_false_sharing_addr(&mut self) -> u64 {
+        let p = &self.profile;
+        if self.rng.gen_bool(p.hot_prob) {
+            let block = HOT_BASE / TRACE_BLOCK_BYTES + self.rng.gen_range(0..p.hot_blocks);
+            return block * TRACE_BLOCK_BYTES;
+        }
+        let line = self.rng.gen_range(0..p.shared_blocks);
+        let word = self.core_id % (TRACE_BLOCK_BYTES / 8);
+        (SHARED_BASE / TRACE_BLOCK_BYTES + line) * TRACE_BLOCK_BYTES + word * 8
     }
 
     fn next_dep_distance(&mut self) -> u32 {
@@ -312,13 +421,13 @@ impl Iterator for TraceGenerator {
         let instr = if class < load_cut {
             Instr {
                 kind: InstrKind::Load,
-                addr: Some(self.next_memory_addr()),
+                addr: Some(self.next_memory_addr(false)),
                 dep_distance: self.next_dep_distance(),
             }
         } else if class < store_cut {
             Instr {
                 kind: InstrKind::Store,
-                addr: Some(self.next_memory_addr()),
+                addr: Some(self.next_memory_addr(true)),
                 dep_distance: self.next_dep_distance(),
             }
         } else if class < branch_cut {
@@ -468,6 +577,103 @@ mod tests {
             .filter(|i| !i.kind.is_memory() && !i.kind.is_branch())
             .count();
         assert!(fp as f64 / alu as f64 > 0.7);
+    }
+
+    #[test]
+    fn core_zero_of_one_is_the_solo_stream_bit_for_bit() {
+        let p = WorkloadProfile::default();
+        let solo: Vec<_> = TraceGenerator::new(p.clone(), 42).take(2_000).collect();
+        let cmp0: Vec<_> = TraceGenerator::for_core(p, 42, 0, 1).take(2_000).collect();
+        assert_eq!(solo, cmp0);
+    }
+
+    #[test]
+    fn per_core_streams_are_decorrelated() {
+        let p = WorkloadProfile::default();
+        let a: Vec<_> = TraceGenerator::for_core(p.clone(), 7, 0, 4).take(1_000).collect();
+        let b: Vec<_> = TraceGenerator::for_core(p, 7, 1, 4).take(1_000).collect();
+        assert_ne!(a, b);
+    }
+
+    fn sharing_profile(pattern: AccessPattern) -> WorkloadProfile {
+        WorkloadProfile {
+            pattern,
+            shared_blocks: 64,
+            hot_prob: 0.2,
+            warm_prob: 0.0,
+            cold_prob: 0.0,
+            spatial_stride_prob: 0.0,
+            ..WorkloadProfile::default()
+        }
+    }
+
+    #[test]
+    fn producer_consumer_stores_stay_in_the_own_window_and_loads_upstream() {
+        let p = sharing_profile(AccessPattern::ProducerConsumer);
+        let window = 64 / 4;
+        for core in 0..4usize {
+            let trace: Vec<_> =
+                TraceGenerator::for_core(p.clone(), 3, core, 4).take(20_000).collect();
+            let own = SHARED_BASE + core as u64 * window * TRACE_BLOCK_BYTES;
+            let upstream =
+                SHARED_BASE + ((core as u64 + 3) % 4) * window * TRACE_BLOCK_BYTES;
+            for i in &trace {
+                let Some(addr) = i.addr else { continue };
+                if addr.0 < SHARED_BASE {
+                    continue; // hot-region touch
+                }
+                let expect = if i.kind.is_store() { own } else { upstream };
+                assert!(
+                    (expect..expect + window * TRACE_BLOCK_BYTES).contains(&addr.0),
+                    "core {core} {:?} at {:#x}",
+                    i.kind,
+                    addr.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn false_sharing_interleaves_words_within_a_small_line_pool() {
+        let p = sharing_profile(AccessPattern::FalseSharing);
+        let mut words_per_core = Vec::new();
+        for core in 0..4usize {
+            let trace: Vec<_> =
+                TraceGenerator::for_core(p.clone(), 5, core, 4).take(5_000).collect();
+            let words: HashSet<u64> = trace
+                .iter()
+                .filter_map(|i| i.addr)
+                .filter(|a| a.0 >= SHARED_BASE)
+                .map(|a| a.0 % TRACE_BLOCK_BYTES)
+                .collect();
+            assert_eq!(words.len(), 1, "each core sticks to its own word");
+            assert!(trace
+                .iter()
+                .filter_map(|i| i.addr)
+                .filter(|a| a.0 >= SHARED_BASE)
+                .all(|a| a.0 < SHARED_BASE + 64 * TRACE_BLOCK_BYTES));
+            words_per_core.push(words.into_iter().next().unwrap());
+        }
+        let distinct: HashSet<u64> = words_per_core.iter().copied().collect();
+        assert_eq!(distinct.len(), 4, "four cores, four distinct words");
+    }
+
+    #[test]
+    fn migratory_partitions_rotate_with_the_phase() {
+        let mut p = sharing_profile(AccessPattern::Migratory);
+        p.phase_period = 500;
+        p.hot_prob = 0.0;
+        let partition = 64 / 2 * TRACE_BLOCK_BYTES;
+        let trace: Vec<_> = TraceGenerator::for_core(p, 9, 0, 2).take(3_000).collect();
+        let mut seen_stage = [false; 2];
+        for (n, i) in trace.iter().enumerate() {
+            let Some(addr) = i.addr else { continue };
+            let stage = ((addr.0 - SHARED_BASE) / partition) as usize;
+            let expected = (n as u64 / 500) % 2;
+            assert_eq!(stage as u64, expected, "instruction {n}");
+            seen_stage[stage] = true;
+        }
+        assert_eq!(seen_stage, [true, true], "the working set migrated");
     }
 
     proptest! {

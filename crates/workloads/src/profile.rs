@@ -66,6 +66,23 @@ pub enum AccessPattern {
     /// end), while the non-memory instruction mix, branches and dependency
     /// distances still follow the profile's knobs.
     Trace,
+    /// Producer-consumer sharing (CMP): cores hand blocks of the shared
+    /// region around a ring — each core writes a window of blocks "owned"
+    /// by its stage and reads the window its upstream neighbour just
+    /// wrote, so lines migrate M→S→M between neighbours. Single-core runs
+    /// degenerate to a rotating private window over the shared region.
+    ProducerConsumer,
+    /// Migratory sharing (CMP): a read-modify-write working set whose
+    /// "home" core rotates every [`WorkloadProfile::phase_period`]
+    /// instructions; whole lines migrate from core to core with an
+    /// ownership transfer (and writeback) per hop. Single-core runs see a
+    /// stationary read-modify-write working set.
+    Migratory,
+    /// False sharing (CMP): every core hammers its *own* word, but the
+    /// words of all cores are interleaved within the same small set of
+    /// lines, so the directory invalidates furiously while no data is
+    /// truly shared. Single-core runs see a tiny hot working set.
+    FalseSharing,
 }
 
 impl AccessPattern {
@@ -79,6 +96,9 @@ impl AccessPattern {
             AccessPattern::Gups => "gups",
             AccessPattern::PhaseMix => "phase-mix",
             AccessPattern::Trace => "trace",
+            AccessPattern::ProducerConsumer => "producer-consumer",
+            AccessPattern::Migratory => "migratory",
+            AccessPattern::FalseSharing => "false-sharing",
         }
     }
 }
@@ -141,6 +161,12 @@ pub struct WorkloadProfile {
     pub cold_blocks: u64,
     /// Number of 32-byte blocks in the streaming footprint.
     pub stream_blocks: u64,
+    /// Number of 32-byte blocks in the **shared** region used by the CMP
+    /// sharing patterns ([`AccessPattern::ProducerConsumer`],
+    /// [`AccessPattern::Migratory`], [`AccessPattern::FalseSharing`]);
+    /// ignored by the single-core patterns. Every core of a CMP run sees
+    /// the same shared region, partitioned per pattern semantics.
+    pub shared_blocks: u64,
     /// Probability that a memory access targets the hot region.
     pub hot_prob: f64,
     /// Probability that a memory access targets the warm region.
@@ -222,6 +248,7 @@ impl WorkloadProfile {
             ("warm_blocks", self.warm_blocks),
             ("cold_blocks", self.cold_blocks),
             ("stream_blocks", self.stream_blocks),
+            ("shared_blocks", self.shared_blocks),
             ("static_branches", self.static_branches),
         ] {
             if v == 0 {
@@ -288,6 +315,7 @@ impl Default for WorkloadProfile {
             warm_blocks: 4_096,
             cold_blocks: 131_072,
             stream_blocks: 4_000_000,
+            shared_blocks: 2_048,
             hot_prob: 0.55,
             warm_prob: 0.33,
             cold_prob: 0.09,
@@ -355,6 +383,14 @@ impl WorkloadProfileBuilder {
     #[must_use]
     pub fn stream_blocks(mut self, blocks: u64) -> Self {
         self.profile.stream_blocks = blocks;
+        self
+    }
+
+    /// Sets the shared-region size (in 32-byte blocks) used by the CMP
+    /// sharing patterns.
+    #[must_use]
+    pub fn shared_blocks(mut self, blocks: u64) -> Self {
+        self.profile.shared_blocks = blocks;
         self
     }
 
@@ -475,9 +511,12 @@ mod tests {
             AccessPattern::Gups.label(),
             AccessPattern::PhaseMix.label(),
             AccessPattern::Trace.label(),
+            AccessPattern::ProducerConsumer.label(),
+            AccessPattern::Migratory.label(),
+            AccessPattern::FalseSharing.label(),
         ];
         let unique: std::collections::HashSet<&str> = labels.into_iter().collect();
-        assert_eq!(unique.len(), 6);
+        assert_eq!(unique.len(), 9);
         assert_eq!(AccessPattern::default(), AccessPattern::Regions);
     }
 

@@ -103,15 +103,18 @@ pub fn spec_fp_like() -> Vec<WorkloadProfile> {
     table.into_iter().map(built).collect()
 }
 
-/// The four adversarial access-pattern benchmarks (ISSUE 4 expansion).
+/// The seven adversarial access-pattern benchmarks (ISSUE 4 expansion
+/// plus the ISSUE 10 sharing classes).
 ///
 /// Each profile exercises one [`AccessPattern`] class the stationary region
 /// model cannot produce: a pointer chase whose working set overflows the
 /// fabric (as in the cache-aware-programming literature), a strided
 /// streaming kernel, a GUPS-like uniform-random-update table larger than
-/// the L3, and a phase-switching mix that cycles through all of them. They
-/// are not part of the paper's 22-benchmark reproduction ([`all`]); sweeps
-/// that want them use [`extended`] or name them explicitly.
+/// the L3, a phase-switching mix that cycles through all of them, and the
+/// three CMP sharing classes (producer-consumer, migratory, false
+/// sharing) that concentrate directory-coherence traffic. They are not
+/// part of the paper's 22-benchmark reproduction ([`all`]); sweeps that
+/// want them use [`extended`] or name them explicitly.
 #[must_use]
 pub fn adversarial() -> Vec<WorkloadProfile> {
     use Suite::{FloatingPoint as F, Integer as I};
@@ -143,6 +146,31 @@ pub fn adversarial() -> Vec<WorkloadProfile> {
                 .pattern(AccessPattern::PhaseMix)
                 .phase_period(2_000),
         ),
+        // The CMP sharing classes (ISSUE 10). On a single core each
+        // degenerates to a benign private pattern, so they are safe in
+        // every existing single-core matrix; on N cores they concentrate
+        // coherence traffic by construction. 2 048 shared blocks = 64 KB
+        // of hand-off buffer, cut into per-core windows.
+        built(
+            profile("sh.prodcons", I, 0.30, 0.20, 0.12, 0.00, 384, 1_024, 4_096, (0.30, 0.0, 0.0), 0.20, 5.0, 0.92)
+                .pattern(AccessPattern::ProducerConsumer)
+                .shared_blocks(2_048),
+        ),
+        // A 256-block (8 KB) migratory set whose home rotates every
+        // 1 500 instructions: every hop is an ownership transfer.
+        built(
+            profile("sh.migratory", I, 0.30, 0.18, 0.14, 0.00, 384, 1_024, 4_096, (0.25, 0.0, 0.0), 0.15, 4.5, 0.90)
+                .pattern(AccessPattern::Migratory)
+                .shared_blocks(256)
+                .phase_period(1_500),
+        ),
+        // 32 shared lines (1 KB) hammered word-interleaved by every core:
+        // almost no data is shared, almost every line is contended.
+        built(
+            profile("sh.falseshare", I, 0.28, 0.22, 0.12, 0.00, 256, 1_024, 4_096, (0.20, 0.0, 0.0), 0.10, 5.0, 0.92)
+                .pattern(AccessPattern::FalseSharing)
+                .shared_blocks(32),
+        ),
     ]
 }
 
@@ -155,7 +183,7 @@ pub fn all() -> Vec<WorkloadProfile> {
 }
 
 /// Every profile the crate ships: the paper's 22 benchmarks ([`all`])
-/// followed by the four [`adversarial`] access-pattern classes.
+/// followed by the seven [`adversarial`] access-pattern classes.
 #[must_use]
 pub fn extended() -> Vec<WorkloadProfile> {
     let mut v = all();
@@ -204,8 +232,8 @@ mod tests {
         assert_eq!(spec_int_like().len(), 11);
         assert_eq!(spec_fp_like().len(), 11);
         assert_eq!(all().len(), 22);
-        assert_eq!(adversarial().len(), 4);
-        assert_eq!(extended().len(), 26);
+        assert_eq!(adversarial().len(), 7);
+        assert_eq!(extended().len(), 29);
     }
 
     #[test]
@@ -218,7 +246,7 @@ mod tests {
     #[test]
     fn names_are_unique_and_suites_consistent() {
         let names: HashSet<String> = extended().into_iter().map(|p| p.name).collect();
-        assert_eq!(names.len(), 26);
+        assert_eq!(names.len(), 29);
         assert!(spec_int_like().iter().all(|p| p.suite == Suite::Integer));
         assert!(spec_fp_like().iter().all(|p| p.suite == Suite::FloatingPoint));
         assert!(all().iter().all(|p| p.pattern == AccessPattern::Regions));
@@ -234,6 +262,9 @@ mod tests {
                 AccessPattern::Streaming,
                 AccessPattern::Gups,
                 AccessPattern::PhaseMix,
+                AccessPattern::ProducerConsumer,
+                AccessPattern::Migratory,
+                AccessPattern::FalseSharing,
             ]
         );
     }

@@ -638,16 +638,140 @@ fn parse_number(raw: &str, line: usize, what: &str) -> Result<u64, IngestError> 
     Ok(value)
 }
 
-/// Parses textual dump lines into records. Each non-empty, non-`#`-comment
-/// line is `<kind> <addr> [pc]` with whitespace separators; `kind` is one of
-/// `r`/`read`/`l`/`ld`/`load` or `w`/`write`/`s`/`st`/`store`
-/// (case-insensitive); numbers are decimal or `0x`-prefixed hex.
+/// Parses a textual dump into records, auto-detecting its dialect.
+///
+/// Two dialects are recognised:
+///
+/// * **Native** — each non-empty, non-`#`-comment line is
+///   `<kind> <addr> [pc]` with whitespace separators; `kind` is one of
+///   `r`/`read`/`l`/`ld`/`load` or `w`/`write`/`s`/`st`/`store`
+///   (case-insensitive); numbers are decimal or `0x`-prefixed hex.
+/// * **Valgrind lackey** (`valgrind --tool=lackey --trace-mem=yes`) —
+///   lines are `<kind> <addr>,<size>` where `kind` is uppercase `I`
+///   (instruction fetch), `L` (load), `S` (store) or `M` (modify);
+///   addresses are bare hex. `I` lines emit no record but set the pc
+///   attached to the data records that follow; `M` expands to a load
+///   followed by a store at the same address; the access size is
+///   validated and discarded (the simulator works in whole lines).
+///   Valgrind `==pid==` banner lines ride along in real dumps and are
+///   skipped.
+///
+/// The dialect is decided by the first content line: an uppercase
+/// `I`/`L`/`S`/`M` kind whose operand contains a comma selects lackey,
+/// anything else the native dialect.
 ///
 /// # Errors
 ///
 /// Returns an [`IngestError`] carrying the 1-based line number of the first
 /// malformed line, or of line 0 when the dump holds no records at all.
 pub fn ingest_text(text: &str) -> Result<Vec<TraceRecord>, IngestError> {
+    if looks_like_lackey(text) {
+        ingest_lackey(text)
+    } else {
+        ingest_native(text)
+    }
+}
+
+/// True when the first content line carries an uppercase lackey kind with a
+/// comma-joined `addr,size` operand. The native dialect also accepts
+/// uppercase `L`/`S` kinds, but never a comma, so the pair is unambiguous.
+fn looks_like_lackey(text: &str) -> bool {
+    for raw_line in text.lines() {
+        let content = raw_line.split('#').next().unwrap_or("").trim();
+        if content.is_empty() || content.starts_with("==") {
+            continue;
+        }
+        let mut fields = content.split_whitespace();
+        let kind = fields.next().unwrap_or("");
+        return matches!(kind, "I" | "L" | "S" | "M")
+            && fields.next().is_some_and(|operand| operand.contains(','));
+    }
+    false
+}
+
+fn parse_lackey_hex(raw: &str, line: usize, what: &str) -> Result<u64, IngestError> {
+    let digits = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")).unwrap_or(raw);
+    let value = u64::from_str_radix(digits, 16).map_err(|_| IngestError {
+        line,
+        message: format!("{what} {raw:?} is not a hex integer"),
+    })?;
+    if value >= ADDR_LIMIT {
+        return Err(IngestError {
+            line,
+            message: format!("{what} {raw} is at or above the 2^56 limit"),
+        });
+    }
+    Ok(value)
+}
+
+fn ingest_lackey(text: &str) -> Result<Vec<TraceRecord>, IngestError> {
+    let mut records = Vec::new();
+    // Lackey interleaves `I` fetch lines with the data records the decoded
+    // instruction performs, so the last fetch address is the natural pc.
+    let mut pc = 0u64;
+    for (i, raw_line) in text.lines().enumerate() {
+        let line = i + 1;
+        let content = raw_line.split('#').next().unwrap_or("").trim();
+        if content.is_empty() || content.starts_with("==") {
+            continue;
+        }
+        let mut fields = content.split_whitespace();
+        let kind = fields.next().expect("non-empty line has a first field");
+        let Some(operand) = fields.next() else {
+            return Err(IngestError {
+                line,
+                message: format!("lackey record {kind:?} is missing its `addr,size` operand"),
+            });
+        };
+        if let Some(extra) = fields.next() {
+            return Err(IngestError {
+                line,
+                message: format!("unexpected trailing field {extra:?} (lackey lines are `<kind> <addr>,<size>`)"),
+            });
+        }
+        let Some((addr_raw, size_raw)) = operand.split_once(',') else {
+            return Err(IngestError {
+                line,
+                message: format!("lackey operand {operand:?} is not an `addr,size` pair"),
+            });
+        };
+        let addr = parse_lackey_hex(addr_raw, line, "address")?;
+        let size: u64 = size_raw.parse().map_err(|_| IngestError {
+            line,
+            message: format!("access size {size_raw:?} is not a decimal integer"),
+        })?;
+        if size == 0 {
+            return Err(IngestError {
+                line,
+                message: "access size 0 is not a memory access".to_owned(),
+            });
+        }
+        match kind {
+            "I" => pc = addr,
+            "L" => records.push(TraceRecord { addr, write: false, pc }),
+            "S" => records.push(TraceRecord { addr, write: true, pc }),
+            "M" => {
+                records.push(TraceRecord { addr, write: false, pc });
+                records.push(TraceRecord { addr, write: true, pc });
+            }
+            other => {
+                return Err(IngestError {
+                    line,
+                    message: format!("unknown lackey access kind {other:?} (expected I, L, S or M)"),
+                })
+            }
+        }
+    }
+    if records.is_empty() {
+        return Err(IngestError {
+            line: 0,
+            message: "the dump holds no records".to_owned(),
+        });
+    }
+    Ok(records)
+}
+
+fn ingest_native(text: &str) -> Result<Vec<TraceRecord>, IngestError> {
     let mut records = Vec::new();
     for (i, raw_line) in text.lines().enumerate() {
         let line = i + 1;
@@ -835,6 +959,64 @@ mod tests {
         assert_eq!(ingest_text("r 0x10\nw zzz\n").unwrap_err().line, 2);
         assert_eq!(ingest_text("r 0x10 0x20 0x30\n").unwrap_err().line, 1);
         let err = ingest_text("# nothing\n\n").unwrap_err();
+        assert!(err.message.contains("no records"), "{err}");
+    }
+
+    #[test]
+    fn ingest_auto_detects_and_parses_lackey_dumps() {
+        let text = "==1234== Lackey, an example Valgrind tool\n\
+                    I  0400d7d4,8\n\
+                     L 04f0a828,8\n\
+                     S 04f0a7f0,8\n\
+                    I  0400d7e0,4\n\
+                     M 0421b7f0,4\n\
+                    ==1234== exiting\n";
+        let records = ingest_text(text).unwrap();
+        assert_eq!(
+            records,
+            vec![
+                TraceRecord { addr: 0x04f0_a828, write: false, pc: 0x0400_d7d4 },
+                TraceRecord { addr: 0x04f0_a7f0, write: true, pc: 0x0400_d7d4 },
+                TraceRecord { addr: 0x0421_b7f0, write: false, pc: 0x0400_d7e0 },
+                TraceRecord { addr: 0x0421_b7f0, write: true, pc: 0x0400_d7e0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn lackey_detection_needs_both_the_kind_and_the_comma() {
+        // Uppercase native kinds without a comma stay native.
+        assert_eq!(
+            ingest_text("L 0x1000 0x400\n").unwrap(),
+            vec![TraceRecord { addr: 0x1000, write: false, pc: 0x400 }]
+        );
+        // Data records with no preceding fetch carry pc 0.
+        assert_eq!(
+            ingest_text("S 1000,4\n").unwrap(),
+            vec![TraceRecord { addr: 0x1000, write: true, pc: 0 }]
+        );
+    }
+
+    #[test]
+    fn lackey_errors_carry_line_numbers() {
+        let err = ingest_text("I 400,4\n L 500,8\n X 600,4\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("unknown lackey access kind"), "{err}");
+        let err = ingest_text("I 400,4\n L 500\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("addr,size"), "{err}");
+        let err = ingest_text("L zz,4\n").unwrap_err();
+        assert!(err.message.contains("not a hex integer"), "{err}");
+        let err = ingest_text("L 500,0\n").unwrap_err();
+        assert!(err.message.contains("size 0"), "{err}");
+        let err = ingest_text("L 500,4 extra\n").unwrap_err();
+        assert!(err.message.contains("trailing field"), "{err}");
+        let err = ingest_text("I 400,4\nL\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("missing its"), "{err}");
+        // A dump of only fetches holds no data records.
+        let err = ingest_text("I 400,4\nI 404,4\n").unwrap_err();
+        assert_eq!(err.line, 0);
         assert!(err.message.contains("no records"), "{err}");
     }
 

@@ -14,6 +14,7 @@
 //! assert_eq!(cfg.lnuca.levels, 3);
 //! ```
 
+pub use lnuca_coherence as coherence;
 pub use lnuca_core as core;
 pub use lnuca_cpu as cpu;
 pub use lnuca_dnuca as dnuca;
